@@ -1,0 +1,66 @@
+"""E10 — shifting parameter t vs loss against the exact disjoint DP.
+
+The shifting scheme guarantees ``value >= (1 - rho/(2*pi) - 1/t) * OPT_no``
+per cut family.  Expected series: measured loss is far below the bound and
+decays as t grows, while runtime grows only linearly in t — the scheme's
+selling point over the O(|S|^2 k) DP at large n.
+"""
+
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing.multi import solve_non_overlapping_dp
+from repro.packing.shifting import solve_shifting
+
+TS = [2, 4, 8, 16, 32]
+GREEDY = get_solver("greedy")
+EXACT = get_solver("exact")
+
+
+def _instance(seed=13, n=40):
+    return gen.clustered_angles(n=n, k=3, capacity_fraction=0.15, seed=seed)
+
+
+def test_e10_loss_bound_holds_everywhere():
+    for seed in range(3):
+        inst = _instance(seed)
+        rho = inst.antennas[0].rho
+        ref = solve_non_overlapping_dp(inst, EXACT).value(inst)
+        for t in TS:
+            v = solve_shifting(inst, EXACT, t=t, boundary_fill=False).value(inst)
+            ref_raw = solve_non_overlapping_dp(
+                inst, EXACT, boundary_fill=False
+            ).value(inst)
+            assert v >= (1 - rho / TWO_PI - 1 / t) * ref_raw - 1e-9
+            assert v <= ref_raw + 1e-9
+
+
+def test_e10_loss_decays_with_t():
+    inst = _instance(0)
+    ref = solve_non_overlapping_dp(inst, EXACT).value(inst)
+    losses = [
+        (ref - solve_shifting(inst, EXACT, t=t).value(inst)) / ref for t in TS
+    ]
+    # nested cut families (2 | 4 | 8 | 16 | 32): loss is non-increasing
+    for a, b in zip(losses, losses[1:]):
+        assert b <= a + 1e-9
+    assert losses[-1] <= 0.1
+
+
+@pytest.mark.parametrize("t", TS)
+def test_e10_shifting_runtime(benchmark, t):
+    inst = _instance(0, n=150)
+    value = benchmark(lambda: solve_shifting(inst, GREEDY, t=t).value(inst))
+    assert value > 0
+
+
+def test_e10_dp_reference_runtime(benchmark):
+    inst = _instance(0, n=150)
+    value = benchmark.pedantic(
+        lambda: solve_non_overlapping_dp(inst, GREEDY).value(inst),
+        rounds=3,
+        iterations=1,
+    )
+    assert value > 0

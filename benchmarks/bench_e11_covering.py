@@ -1,0 +1,83 @@
+"""E11 — the dual covering problem: antennas needed vs lower bound.
+
+Greedy max-remaining-demand placement against the certified lower bound
+``max(ceil(D / c), min-arcs-to-touch)``.  Expected shape: on capacity-
+bound instances (wide beams, tight capacity) greedy lands within one
+antenna of the bound; on geometry-bound instances (narrow beams, loose
+capacity) it matches the exact stabbing number; the log-factor of the
+set-cover analysis is never observed on these families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.model.antenna import AntennaSpec
+from repro.packing.covering import (
+    cover_lower_bound,
+    greedy_cover,
+    verify_cover,
+)
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+
+
+def test_e11_capacity_bound_regime():
+    """Wide beams: antennas used tracks ceil(total demand / capacity)."""
+    rng = np.random.default_rng(0)
+    for seed in range(4):
+        rng = np.random.default_rng(seed)
+        thetas = rng.uniform(0, TWO_PI, 30)
+        demands = rng.uniform(0.5, 1.5, 30)
+        spec = AntennaSpec(rho=TWO_PI, capacity=5.0)
+        res = greedy_cover(thetas, demands, spec, EXACT)
+        verify_cover(thetas, demands, spec, res)
+        assert res.lower_bound <= res.antennas_used <= res.lower_bound + 2
+
+
+def test_e11_geometry_bound_regime():
+    """Narrow beams, loose capacity: greedy matches the stabbing number."""
+    for seed in range(4):
+        rng = np.random.default_rng(100 + seed)
+        thetas = rng.uniform(0, TWO_PI, 25)
+        demands = rng.uniform(0.1, 0.3, 25)
+        spec = AntennaSpec(rho=0.8, capacity=100.0)
+        res = greedy_cover(thetas, demands, spec, GREEDY)
+        verify_cover(thetas, demands, spec, res)
+        # loose capacity: lower bound is exactly the arc-stabbing number,
+        # and serving max remaining demand == covering max customers here
+        assert res.antennas_used <= res.lower_bound + 2
+
+
+def test_e11_gap_never_large():
+    for seed in range(6):
+        inst = gen.clustered_angles(n=40, k=1, capacity_fraction=0.15, seed=seed)
+        spec = inst.antennas[0]
+        res = greedy_cover(inst.thetas, inst.demands, spec, GREEDY)
+        verify_cover(inst.thetas, inst.demands, spec, res)
+        assert res.gap() <= 3.0
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_e11_cover_runtime(benchmark, n):
+    inst = gen.clustered_angles(n=n, k=1, capacity_fraction=0.1, seed=5)
+    spec = inst.antennas[0]
+    res = benchmark(lambda: greedy_cover(inst.thetas, inst.demands, spec, GREEDY))
+    benchmark.extra_info["antennas_used"] = res.antennas_used
+    benchmark.extra_info["lower_bound"] = res.lower_bound
+    assert res.antennas_used >= res.lower_bound
+
+
+@pytest.mark.parametrize("rho_frac", [0.05, 0.15, 0.4])
+def test_e11_beamwidth_tradeoff(benchmark, rho_frac):
+    """Narrower beams need more antennas: the planning curve."""
+    inst = gen.uniform_angles(
+        n=80, k=1, rho=rho_frac * TWO_PI, capacity_fraction=0.2, seed=2
+    )
+    spec = inst.antennas[0]
+    res = benchmark(lambda: greedy_cover(inst.thetas, inst.demands, spec, GREEDY))
+    benchmark.extra_info["antennas_used"] = res.antennas_used
+    assert res.antennas_used >= 1

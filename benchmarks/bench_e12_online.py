@@ -1,0 +1,116 @@
+"""E12 — online admission vs offline optimum.
+
+Streams random arrival orders through each admission policy at fixed
+(greedy-planned) orientations and compares to the offline reference.
+Expected shape: all work-conserving policies clear the
+``(1-delta)/(2-delta)`` floor with room to spare; best-fit >= first-fit on
+average; the whale-rejecting threshold policy wins only when demand
+variance is extreme; smaller demands → ratios → 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.online import (
+    OnlineAdmission,
+    POLICIES,
+    replay_offline_reference,
+    work_conserving_bound,
+)
+from repro.online.admission import make_threshold_policy
+
+GREEDY = get_solver("greedy")
+
+
+def make_stream(n, demand_lo, demand_hi, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, TWO_PI, n), rng.uniform(demand_lo, demand_hi, n)
+
+
+def setup(capacity=4.0):
+    ants = [AntennaSpec(rho=2.2, capacity=capacity) for _ in range(3)]
+    oris = [0.0, 2.1, 4.2]
+    return ants, oris
+
+
+def ratio(policy, thetas, demands, ants, oris):
+    sim = OnlineAdmission(ants, oris, policy=policy)
+    online = sim.run(thetas, demands)
+    offline = replay_offline_reference(ants, oris, thetas, demands)
+    return 1.0 if offline <= 0 else online / offline
+
+
+def test_e12_floor_holds_for_all_policies():
+    ants, oris = setup()
+    for seed in range(5):
+        thetas, demands = make_stream(40, 0.3, 1.2, seed)
+        floor = work_conserving_bound(ants, demands)
+        for name in POLICIES:
+            r = ratio(name, thetas, demands, ants, oris)
+            assert r >= floor - 1e-9, (name, r, floor)
+            assert r <= 1.0 + 1e-9
+
+
+def test_e12_small_demands_near_one():
+    ants, oris = setup()
+    rs = []
+    for seed in range(4):
+        thetas, demands = make_stream(80, 0.05, 0.15, seed)
+        rs.append(ratio("best_fit", thetas, demands, ants, oris))
+    assert min(rs) >= 0.9
+
+
+def test_e12_granularity_series():
+    """Mean competitive ratio improves as demands shrink."""
+    ants, oris = setup()
+    means = []
+    for lo, hi in [(0.8, 2.0), (0.4, 1.0), (0.1, 0.3)]:
+        rs = [
+            ratio("best_fit", *make_stream(50, lo, hi, s), ants, oris)
+            for s in range(4)
+        ]
+        means.append(np.mean(rs))
+    assert means[-1] >= means[0] - 0.02
+
+
+def test_e12_best_fit_vs_first_fit_on_average():
+    ants, oris = setup()
+    bf, ff = [], []
+    for seed in range(8):
+        thetas, demands = make_stream(50, 0.5, 1.8, seed)
+        bf.append(ratio("best_fit", thetas, demands, ants, oris))
+        ff.append(ratio("first_fit", thetas, demands, ants, oris))
+    assert np.mean(bf) >= np.mean(ff) - 0.03
+
+
+def test_e12_threshold_not_dominant_on_benign_streams():
+    ants, oris = setup()
+    thetas, demands = make_stream(50, 0.3, 0.8, 0)
+    plain = ratio("best_fit", thetas, demands, ants, oris)
+    capped = ratio(make_threshold_policy(0.2), thetas, demands, ants, oris)
+    assert plain >= capped - 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_e12_policy_throughput(benchmark, name):
+    ants, oris = setup()
+    thetas, demands = make_stream(500, 0.2, 1.0, 3)
+
+    def run():
+        sim = OnlineAdmission(ants, oris, policy=name)
+        return sim.run(thetas, demands)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_e12_offline_reference_runtime(benchmark):
+    ants, oris = setup()
+    thetas, demands = make_stream(120, 0.2, 1.0, 3)
+    v = benchmark(
+        lambda: replay_offline_reference(ants, oris, thetas, demands)
+    )
+    assert v > 0

@@ -1,0 +1,100 @@
+"""E1 — measured approximation ratio vs proven bound.
+
+For every (instance family, solver) pair: solve small instances whose
+exact optimum is known, assert the proven guarantee holds, and benchmark
+the solver on one representative instance.
+
+Expected shape (recorded in EXPERIMENTS.md): exact == 1.0 everywhere;
+FPTAS >= 1 - eps; greedy >= 1/2 with the adversarial family pushing it
+toward the bound while uniform/clustered stay >= ~0.9.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import geometric_mean
+from repro.knapsack import get_solver
+from repro.packing.exact import solve_exact_angle
+from repro.packing.local_search import improve_solution
+from repro.packing.multi import solve_greedy_multi
+
+FAMILIES = ["uniform", "clustered", "hotspot", "adversarial"]
+
+
+def _ratios(instances, optima, solve):
+    out = []
+    for inst, opt in zip(instances, optima):
+        v = solve(inst)
+        out.append(1.0 if opt <= 0 else v / opt)
+    return out
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_e1_greedy_oracle_ratio(benchmark, small_instances, exact_optima, family):
+    """Greedy-oracle greedy multi: guarantee beta/(1+beta) = 1/3."""
+    oracle = get_solver("greedy")
+    solve = lambda i: solve_greedy_multi(i, oracle).value(i)
+    ratios = _ratios(small_instances[family], exact_optima[family], solve)
+    assert min(ratios) >= 1.0 / 3.0 - 1e-9
+    assert max(ratios) <= 1.0 + 1e-9
+    benchmark.extra_info["min_ratio"] = min(ratios)
+    benchmark.extra_info["geo_ratio"] = geometric_mean(ratios)
+    benchmark(solve, small_instances[family][0])
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_e1_exact_oracle_ratio(benchmark, small_instances, exact_optima, family):
+    """Exact-oracle greedy multi: guarantee 1/2."""
+    oracle = get_solver("exact")
+    solve = lambda i: solve_greedy_multi(i, oracle).value(i)
+    ratios = _ratios(small_instances[family], exact_optima[family], solve)
+    assert min(ratios) >= 0.5 - 1e-9
+    benchmark.extra_info["min_ratio"] = min(ratios)
+    benchmark(solve, small_instances[family][0])
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_e1_fptas_oracle_ratio(benchmark, small_instances, exact_optima, family):
+    """FPTAS(0.1)-oracle greedy multi: guarantee (1-eps)/(2-eps) ~ 0.4737."""
+    oracle = get_solver("fptas", eps=0.1)
+    solve = lambda i: solve_greedy_multi(i, oracle).value(i)
+    ratios = _ratios(small_instances[family], exact_optima[family], solve)
+    assert min(ratios) >= (1 - 0.1) / (2 - 0.1) - 1e-9
+    benchmark.extra_info["min_ratio"] = min(ratios)
+    benchmark(solve, small_instances[family][0])
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_e1_greedy_plus_local_search(benchmark, small_instances, exact_optima, family):
+    """Local search never lowers the greedy value (same 1/2 floor)."""
+    oracle = get_solver("exact")
+
+    def solve(i):
+        base = solve_greedy_multi(i, oracle)
+        return improve_solution(i, base, oracle).value(i)
+
+    ratios = _ratios(small_instances[family], exact_optima[family], solve)
+    assert min(ratios) >= 0.5 - 1e-9
+    benchmark.extra_info["min_ratio"] = min(ratios)
+    benchmark(solve, small_instances[family][0])
+
+
+def test_e1_exact_is_one(benchmark, small_instances, exact_optima):
+    """The exact solver certifies itself at ratio exactly 1."""
+    solve = lambda i: solve_exact_angle(i).value(i)
+    for family in FAMILIES:
+        ratios = _ratios(small_instances[family], exact_optima[family], solve)
+        assert np.allclose(ratios, 1.0)
+    benchmark(solve, small_instances["uniform"][0])
+
+
+def test_e1_adversarial_drives_greedy_down(small_instances, exact_optima, benchmark):
+    """Shape check: the adversarial family hurts greedy most."""
+    oracle = get_solver("greedy")
+    solve = lambda i: solve_greedy_multi(i, oracle).value(i)
+    adv = min(_ratios(small_instances["adversarial"], exact_optima["adversarial"], solve))
+    uni = min(_ratios(small_instances["uniform"], exact_optima["uniform"], solve))
+    assert adv <= uni + 1e-9
+    # adversarial construction lands within 10% of the 1/2 bound
+    assert adv <= 0.62
+    benchmark(solve, small_instances["adversarial"][0])

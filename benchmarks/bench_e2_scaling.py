@@ -1,0 +1,70 @@
+"""E2 — runtime scaling vs instance size.
+
+Benchmarks each solver tier at growing ``n`` so the timing table exposes
+the complexity shape: the sweep solvers stay near ``n log n`` per oracle
+call, the non-overlapping DP grows ~quadratically in its candidate count,
+and the LP grows fastest.  Absolute numbers are machine-specific; the
+*ordering* (greedy < DP < LP at equal n) is the reproducible claim.
+"""
+
+import pytest
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing.lp import solve_lp_rounding
+from repro.packing.multi import solve_greedy_multi, solve_non_overlapping_dp
+from repro.packing.shifting import solve_shifting
+from repro.packing.single import solve_single_antenna_fractional
+
+SIZES = [50, 100, 200, 400]
+GREEDY = get_solver("greedy")
+
+
+def _instance(n):
+    return gen.clustered_angles(n=n, k=3, seed=11)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e2_greedy_multi(benchmark, n):
+    inst = _instance(n)
+    value = benchmark(lambda: solve_greedy_multi(inst, GREEDY).value(inst))
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e2_non_overlapping_dp(benchmark, n):
+    inst = _instance(n)
+    value = benchmark.pedantic(
+        lambda: solve_non_overlapping_dp(inst, GREEDY).value(inst),
+        rounds=3,
+        iterations=1,
+    )
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e2_shifting(benchmark, n):
+    inst = _instance(n)
+    value = benchmark(lambda: solve_shifting(inst, GREEDY, t=8).value(inst))
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES[:3])
+def test_e2_lp_rounding(benchmark, n):
+    inst = _instance(n)
+    value = benchmark.pedantic(
+        lambda: solve_lp_rounding(inst, GREEDY, rounds=3, max_candidates=40).value(
+            inst
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES + [800])
+def test_e2_fractional_single(benchmark, n):
+    """The splittable single-antenna fast path is near-linear."""
+    inst = gen.clustered_angles(n=n, k=1, seed=11)
+    value = benchmark(lambda: solve_single_antenna_fractional(inst).value(inst))
+    assert value > 0

@@ -1,0 +1,105 @@
+"""E5 — multi-antenna algorithm comparison.
+
+Head-to-head of every multi-antenna solver on the two regimes that
+separate them:
+
+* **clustered** (separated demand pockets): the non-overlapping DP is
+  near-optimal — disjoint arcs can each swallow a pocket;
+* **hotspot** (one pocket exceeding a single antenna's capacity):
+  overlap helps, so greedy/local-search/LP-rounding beat the DP.
+
+Small instances are certified against the exact optimum; the benchmark
+rows carry the measured ratios in ``extra_info``.
+"""
+
+import pytest
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing.exact import solve_exact_angle
+from repro.packing.local_search import improve_solution
+from repro.packing.lp import solve_lp_rounding
+from repro.packing.multi import solve_greedy_multi, solve_non_overlapping_dp
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+# At medium n the exact oracle is a float subset-sum B&B with no pruning
+# power (exponential plateau); the honest medium-scale oracle is the FPTAS.
+FPTAS = get_solver("fptas", eps=0.05)
+
+
+def _solvers(oracle):
+    return {
+        "greedy": lambda i: solve_greedy_multi(i, oracle).value(i),
+        "adaptive": lambda i: solve_greedy_multi(i, oracle, adaptive=True).value(i),
+        "greedy+ls": lambda i: improve_solution(
+            i, solve_greedy_multi(i, oracle), oracle
+        ).value(i),
+        "dp-disjoint": lambda i: solve_non_overlapping_dp(i, oracle).value(i),
+        "lp-round": lambda i: solve_lp_rounding(i, oracle, rounds=10).value(i),
+    }
+
+
+SOLVERS = _solvers(EXACT)
+SOLVERS_MEDIUM = _solvers(FPTAS)
+
+
+def _small_hotspot(seed):
+    return gen.hotspot_angles(n=10, k=2, seed=seed)
+
+
+def _small_clustered(seed):
+    return gen.clustered_angles(n=9, k=2, clusters=2, spread=0.1, seed=seed)
+
+
+def test_e5_overlap_beats_disjoint_on_hotspot():
+    wins = 0
+    for seed in range(5):
+        inst = _small_hotspot(seed)
+        free = solve_exact_angle(inst).value(inst)
+        disjoint = solve_exact_angle(inst, require_disjoint=True).value(inst)
+        assert disjoint <= free + 1e-9
+        if disjoint < free - 1e-9:
+            wins += 1
+    # the hotspot family is designed so overlap strictly helps usually
+    assert wins >= 3
+
+
+def test_e5_all_solvers_within_guarantees():
+    for seed in range(3):
+        for make in (_small_hotspot, _small_clustered):
+            inst = make(seed)
+            opt = solve_exact_angle(inst).value(inst)
+            for name, solve in SOLVERS.items():
+                v = solve(inst)
+                assert v <= opt + 1e-9, name
+                if name in ("greedy", "adaptive", "greedy+ls"):
+                    assert v >= 0.5 * opt - 1e-9, name
+
+
+def test_e5_dp_near_optimal_on_separated_clusters():
+    for seed in range(3):
+        inst = _small_clustered(seed)
+        opt = solve_exact_angle(inst).value(inst)
+        dp = solve_non_overlapping_dp(inst, EXACT).value(inst)
+        assert dp >= 0.9 * opt - 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS_MEDIUM))
+def test_e5_solver_on_medium_hotspot(benchmark, name):
+    inst = gen.hotspot_angles(n=60, k=3, seed=9)
+    value = benchmark.pedantic(
+        lambda: SOLVERS_MEDIUM[name](inst), rounds=3, iterations=1
+    )
+    benchmark.extra_info["value"] = value
+    assert value > 0
+
+
+@pytest.mark.parametrize("name", sorted(SOLVERS_MEDIUM))
+def test_e5_solver_on_medium_clustered(benchmark, name):
+    inst = gen.clustered_angles(n=60, k=3, seed=9)
+    value = benchmark.pedantic(
+        lambda: SOLVERS_MEDIUM[name](inst), rounds=3, iterations=1
+    )
+    benchmark.extra_info["value"] = value
+    assert value > 0

@@ -1,0 +1,89 @@
+"""E6 — splittable vs unsplittable gap.
+
+For fixed orientations the splittable optimum (max-flow) upper-bounds the
+unsplittable one (exact B&B).  Expected shape: the relative gap shrinks
+as individual demands shrink relative to capacity (classic LP-rounding
+intuition: integrality gaps are driven by items comparable to the bin),
+and the splittable solve is orders of magnitude faster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance
+from repro.packing.exact import solve_exact_fixed_orientations
+from repro.packing.flow import solve_splittable, splittable_value
+
+
+def _instance(n, demand_scale, seed):
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(0.5, 1.5, n) * demand_scale
+    cap = 3.0
+    return AngleInstance(
+        thetas=rng.uniform(0, TWO_PI, n),
+        demands=demands,
+        antennas=(
+            AntennaSpec(rho=2.0, capacity=cap),
+            AntennaSpec(rho=2.0, capacity=cap),
+        ),
+    )
+
+
+def _gap(n, scale, seed):
+    inst = _instance(n, scale, seed)
+    ori = np.array([0.0, 2.5])
+    split = splittable_value(inst, ori)
+    integral = solve_exact_fixed_orientations(inst, ori).value(inst)
+    assert split >= integral - 1e-9
+    return 0.0 if split <= 0 else (split - integral) / split
+
+
+def test_e6_gap_shrinks_with_demand_granularity():
+    coarse = np.mean([_gap(12, 1.0, s) for s in range(4)])
+    fine = np.mean([_gap(12, 0.25, s) for s in range(4)])
+    assert fine <= coarse + 1e-9
+
+
+def test_e6_fine_demands_gap_small():
+    gaps = [_gap(14, 0.15, s) for s in range(4)]
+    assert max(gaps) <= 0.1
+
+
+@pytest.mark.parametrize("scale", [1.0, 0.25])
+def test_e6_splittable_speed(benchmark, scale):
+    inst = _instance(60, scale, 1)
+    ori = np.array([0.0, 2.5])
+    value = benchmark(lambda: splittable_value(inst, ori))
+    assert value > 0
+
+
+@pytest.mark.parametrize("scale", [1.0, 0.25])
+def test_e6_integral_speed(benchmark, scale):
+    inst = _instance(12, scale, 1)
+    ori = np.array([0.0, 2.5])
+    value = benchmark.pedantic(
+        lambda: solve_exact_fixed_orientations(inst, ori).value(inst),
+        rounds=3,
+        iterations=1,
+    )
+    assert value >= 0
+
+
+def test_e6_fractional_solution_structure():
+    """Each antenna's load saturates or every covered customer is served."""
+    inst = _instance(30, 1.0, 3)
+    ori = np.array([0.0, 2.5])
+    sol = solve_splittable(inst, ori)
+    sol.verify(inst)
+    loads = sol.loads(inst)
+    caps = inst.capacities
+    served = sol.fractions.sum(axis=1)
+    from repro.packing.flow import covered_matrix
+
+    cover = covered_matrix(inst, ori)
+    for j in range(inst.k):
+        saturated = loads[j] >= caps[j] * (1 - 1e-6)
+        all_served = np.all(served[cover[:, j]] >= 1 - 1e-6)
+        assert saturated or all_served

@@ -1,0 +1,62 @@
+"""E7 — FPTAS eps sweep: quality/runtime trade-off.
+
+The single-antenna sweep with an FPTAS oracle is a (1-eps)-approximation.
+Expected series: measured value is sandwiched in [(1-eps)*OPT, OPT] for
+every eps; runtime grows as eps shrinks (the DP table is ~n^2/eps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.knapsack import get_solver, solve_fptas
+from repro.model import generators as gen
+from repro.packing.single import solve_single_antenna
+
+EPSES = [0.5, 0.25, 0.1, 0.05]
+
+
+def _instance(seed=5):
+    # subset-sum flavored: integer demands, tight capacity, one antenna
+    return gen.subset_sum_angles(n=40, k=1, rho=2.0, seed=seed)
+
+
+def _exact_value(inst):
+    return solve_single_antenna(inst, get_solver("exact")).value(inst)
+
+
+def test_e7_sandwich():
+    inst = _instance()
+    opt = _exact_value(inst)
+    for eps in EPSES:
+        v = solve_single_antenna(inst, get_solver("fptas", eps=eps)).value(inst)
+        assert (1 - eps) * opt - 1e-9 <= v <= opt + 1e-9
+
+
+def test_e7_monotone_in_eps_on_average():
+    insts = [_instance(seed=s) for s in range(4)]
+    means = []
+    for eps in EPSES:
+        oracle = get_solver("fptas", eps=eps)
+        means.append(
+            np.mean([solve_single_antenna(i, oracle).value(i) for i in insts])
+        )
+    assert means[-1] >= means[0] - 1e-9  # tighter eps at least as good on average
+
+
+@pytest.mark.parametrize("eps", EPSES)
+def test_e7_sweep_runtime(benchmark, eps):
+    inst = _instance()
+    oracle = get_solver("fptas", eps=eps)
+    value = benchmark(lambda: solve_single_antenna(inst, oracle).value(inst))
+    assert value > 0
+
+
+@pytest.mark.parametrize("eps", EPSES)
+def test_e7_raw_knapsack_runtime(benchmark, eps):
+    """The oracle itself, isolated from the sweep."""
+    rng = np.random.default_rng(0)
+    # n=100 keeps the eps=0.05 table inside the FPTAS memory cap
+    w = rng.integers(1, 100, 100).astype(float)
+    cap = 0.4 * w.sum()
+    res = benchmark(lambda: solve_fptas(w, w, cap, eps=eps))
+    assert res.value >= (1 - eps) * min(cap, w.sum()) - 1e-9 or res.value > 0

@@ -1,0 +1,62 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Expensive artefacts (instances, exact optima) are computed once per session
+and shared across benchmark tests; the ``benchmark`` fixture then times
+*only* the solver under measurement.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing.exact import solve_exact_angle
+
+EXACT_ORACLE = get_solver("exact")
+GREEDY_ORACLE = get_solver("greedy")
+
+
+@pytest.fixture(scope="session")
+def oracles():
+    return {
+        "exact": EXACT_ORACLE,
+        "greedy": GREEDY_ORACLE,
+        "fptas": get_solver("fptas", eps=0.1),
+    }
+
+
+@pytest.fixture(scope="session")
+def small_instances():
+    """Per family: small instances whose exact optimum is computable."""
+    return {
+        "uniform": [gen.uniform_angles(n=9, k=2, seed=s) for s in range(3)],
+        "clustered": [gen.clustered_angles(n=9, k=2, seed=s) for s in range(3)],
+        "hotspot": [gen.hotspot_angles(n=9, k=2, seed=s) for s in range(3)],
+        "adversarial": [
+            gen.adversarial_greedy_angles(blocks=3, seed=s) for s in range(3)
+        ],
+    }
+
+
+@pytest.fixture(scope="session")
+def exact_optima(small_instances):
+    """family -> list of exact OPT values, aligned with small_instances."""
+    return {
+        family: [solve_exact_angle(inst).value(inst) for inst in insts]
+        for family, insts in small_instances.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def medium_instance():
+    return gen.clustered_angles(n=120, k=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_sector_instance():
+    return gen.grid_city(n=150, grid=2, seed=7)

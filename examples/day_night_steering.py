@@ -1,0 +1,68 @@
+"""Day/night steering: what are steerable antennas actually worth?
+
+Demand in a city rotates: downtown by day, residential districts by
+night.  With fixed beams an operator plans once; with steerable beams it
+re-orients every period.  This example builds a rotating-hotspot demand
+series and measures the revenue difference — the operational argument for
+the orientation problem this library solves — plus the robustness curve
+of a frozen plan under forecast error.
+
+Run:  python examples/day_night_steering.py
+"""
+
+import numpy as np
+
+from repro import get_solver, solve_greedy_multi
+from repro.analysis.robustness import replanning_gain, robustness_curve
+from repro.analysis.tables import format_table
+from repro.analysis.viz import render_instance
+from repro.model.generators import hotspot_angles
+from repro.model.perturbation import rotating_demand_series
+
+ORACLE = get_solver("greedy")
+
+
+def planner(inst):
+    return solve_greedy_multi(inst, ORACLE).orientations
+
+
+def main() -> None:
+    city = hotspot_angles(
+        n=60, k=2, rho=np.pi / 3,
+        hotspot_fraction=0.8, hotspot_width=0.35,
+        capacity_fraction=0.3, seed=2026,
+    )
+    print("period-0 demand (hotspot = downtown at noon):")
+    print(render_instance(city, width=72))
+
+    # Four periods: the hotspot walks a quarter circle each period.
+    series = rotating_demand_series(city, periods=4, demand_sigma=0.05, seed=1)
+    out = replanning_gain(series, planner, ORACLE)
+    rows = [
+        ["frozen beams (plan once)", out["fixed_total"]],
+        ["steerable beams (re-plan each period)", out["replanned_total"]],
+        ["relative gain of steering", out["relative_gain"]],
+    ]
+    print()
+    print(format_table(["strategy", "total served demand"], rows,
+                       title="four-period rotating demand"))
+
+    # Robustness of a frozen plan under pure forecast error (no rotation).
+    pts = robustness_curve(
+        city, planner, ORACLE,
+        noise_levels=(0.0, 0.15, 0.3, 0.6), trials=3, seed=3,
+    )
+    rows = [[p.noise, p.fixed_plan_value, p.replanned_value, p.retention] for p in pts]
+    print()
+    print(format_table(
+        ["demand noise sigma", "frozen plan", "re-planned", "retention"],
+        rows, title="robustness to forecast error (no rotation)",
+    ))
+    print()
+    print("Shape: rotation makes steering pay (gain above), while pure")
+    print("demand noise inside unchanged beams is mostly survivable")
+    print("(retention near 1) — orientation is the hard part.")
+
+
+if __name__ == "__main__":
+    main()

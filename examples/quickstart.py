@@ -1,0 +1,66 @@
+"""Quickstart: build an instance, solve it three ways, verify, compare.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AngleInstance,
+    AntennaSpec,
+    get_solver,
+    improve_solution,
+    lp_upper_bound,
+    solve_exact_angle,
+    solve_greedy_multi,
+)
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    # Ten customers on a circle (angles in radians), each with a demand.
+    rng = np.random.default_rng(42)
+    instance = AngleInstance(
+        thetas=rng.uniform(0, 2 * np.pi, 10),
+        demands=rng.uniform(0.5, 2.0, 10),
+        # Two identical antennas: 60-degree beams, capacity 3 each.
+        antennas=(
+            AntennaSpec(rho=np.pi / 3, capacity=3.0),
+            AntennaSpec(rho=np.pi / 3, capacity=3.0),
+        ),
+    )
+    print(instance)
+
+    exact_oracle = get_solver("exact")
+    greedy_oracle = get_solver("greedy")
+
+    # 1. Fast greedy (1/3-approx with the greedy inner knapsack).
+    greedy = solve_greedy_multi(instance, greedy_oracle)
+    # 2. Greedy + local search polish (never worse).
+    polished = improve_solution(instance, greedy, exact_oracle)
+    # 3. Exact optimum (this instance is small enough).
+    optimum = solve_exact_angle(instance)
+
+    # Solutions are *verified* against the instance — a solver bug would
+    # raise FeasibilityError here rather than report a wrong number.
+    for sol in (greedy, polished, optimum):
+        sol.verify(instance)
+
+    ub = lp_upper_bound(instance)
+    rows = [
+        ["greedy", greedy.value(instance), greedy.value(instance) / optimum.value(instance)],
+        ["greedy + local search", polished.value(instance), polished.value(instance) / optimum.value(instance)],
+        ["exact", optimum.value(instance), 1.0],
+        ["LP upper bound", ub, ub / optimum.value(instance)],
+    ]
+    print()
+    print(format_table(["algorithm", "served demand", "vs optimum"], rows,
+                       title="quickstart results"))
+    print()
+    print(f"optimal orientations (radians): {np.round(optimum.orientations, 3)}")
+    served = (optimum.assignment >= 0).sum()
+    print(f"customers served: {served}/{instance.n}")
+
+
+if __name__ == "__main__":
+    main()

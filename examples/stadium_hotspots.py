@@ -1,0 +1,87 @@
+"""Stadium hotspot: when overlapping beams beat interference-free rotation.
+
+A venue Wi-Fi / small-cell scenario: most of the crowd is packed into one
+angular hotspot (the stands) whose demand exceeds any single antenna's
+capacity.  Operators can either:
+
+* require **non-overlapping** beams (interference-free rotation — the DP
+  solves this variant optimally), or
+* allow beams to **overlap** and stack two antennas onto the hotspot
+  (the general problem — greedy/local-search/exact).
+
+This example measures the price of the non-overlap constraint, the gap
+the E5 experiment quantifies systematically.
+
+Run:  python examples/stadium_hotspots.py
+"""
+
+import numpy as np
+
+from repro import get_solver
+from repro.analysis.tables import format_table
+from repro.model.generators import hotspot_angles
+from repro.packing.exact import solve_exact_angle
+from repro.packing.local_search import improve_solution
+from repro.packing.multi import solve_greedy_multi, solve_non_overlapping_dp
+from repro.packing.shifting import solve_shifting
+
+
+def main() -> None:
+    stadium = hotspot_angles(
+        n=12,                 # small enough for the exact solver
+        k=2,                  # two steerable antennas
+        rho=np.pi / 2,
+        hotspot_fraction=0.75,
+        hotspot_width=0.4,
+        capacity_fraction=0.3,
+        seed=7,
+    )
+    print(stadium)
+
+    oracle = get_solver("exact")
+
+    overlap_opt = solve_exact_angle(stadium).verify(stadium)
+    disjoint_opt = solve_exact_angle(stadium, require_disjoint=True)
+    disjoint_opt.verify(stadium, require_disjoint=True)
+
+    greedy = improve_solution(
+        stadium, solve_greedy_multi(stadium, oracle, adaptive=True), oracle
+    ).verify(stadium)
+    dp = solve_non_overlapping_dp(stadium, oracle)
+    dp.verify(stadium, require_disjoint=True)
+    shift = solve_shifting(stadium, oracle, t=8)
+    shift.verify(stadium, require_disjoint=True)
+
+    ref = overlap_opt.value(stadium)
+    rows = [
+        ["exact (overlap allowed)", ref, 1.0],
+        ["greedy + local search (overlap)", greedy.value(stadium), greedy.value(stadium) / ref],
+        ["exact (non-overlapping)", disjoint_opt.value(stadium), disjoint_opt.value(stadium) / ref],
+        ["circular DP (non-overlapping)", dp.value(stadium), dp.value(stadium) / ref],
+        ["shifting t=8 (non-overlapping)", shift.value(stadium), shift.value(stadium) / ref],
+    ]
+    print()
+    print(
+        format_table(
+            ["planner", "served demand", "vs overlap optimum"],
+            rows,
+            title="price of interference-free rotation",
+        )
+    )
+
+    both_on_hotspot = np.isclose(
+        overlap_opt.orientations[0], overlap_opt.orientations[1], atol=0.6
+    )
+    print()
+    if both_on_hotspot:
+        print("The overlap optimum points BOTH antennas at the hotspot "
+              "(orientations {:.2f}, {:.2f} rad) — exactly what the "
+              "non-overlap constraint forbids.".format(*overlap_opt.orientations))
+    else:
+        print("Orientations:", np.round(overlap_opt.orientations, 2),
+              "(overlap optimum) vs", np.round(disjoint_opt.orientations, 2),
+              "(disjoint optimum)")
+
+
+if __name__ == "__main__":
+    main()

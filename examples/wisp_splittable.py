@@ -1,0 +1,79 @@
+"""Rural WISP: splittable vs all-or-nothing subscriber demands.
+
+A wireless ISP serves farms from one mast with three narrow directional
+antennas.  Some products let a subscriber's traffic be split across beams
+(bonded links); the flagship product is all-or-nothing.  The gap between
+the two is the integrality gap experiment E6 studies; here we show it on a
+concrete instance, and how it shrinks when demands are small relative to
+the antenna capacity (many small subscribers vs few large ones).
+
+Run:  python examples/wisp_splittable.py
+"""
+
+import numpy as np
+
+from repro import AngleInstance, AntennaSpec, get_solver
+from repro.analysis.tables import format_table
+from repro.packing.exact import solve_exact_fixed_orientations
+from repro.packing.flow import solve_splittable
+from repro.packing.multi import solve_greedy_multi
+
+
+def build_wisp(n: int, demand_scale: float, seed: int) -> AngleInstance:
+    rng = np.random.default_rng(seed)
+    return AngleInstance(
+        thetas=rng.uniform(0, 2 * np.pi, n),
+        demands=rng.uniform(0.5, 1.5, n) * demand_scale,
+        antennas=tuple(
+            AntennaSpec(rho=np.pi / 4, capacity=4.0, name=f"beam{j}")
+            for j in range(3)
+        ),
+    )
+
+
+def main() -> None:
+    oracle = get_solver("exact")
+    rows = []
+    for label, n, scale in [
+        ("few large subscribers", 12, 2.0),
+        ("medium subscribers", 12, 1.0),
+        ("many small subscribers", 24, 0.4),
+    ]:
+        inst = build_wisp(n, scale, seed=11)
+        # Orient beams with the greedy planner, then compare assignment modes
+        # at those orientations.
+        plan = solve_greedy_multi(inst, oracle, adaptive=True)
+        integral = solve_exact_fixed_orientations(inst, plan.orientations)
+        integral.verify(inst)
+        split = solve_splittable(inst, plan.orientations)
+        split.verify(inst)
+        vi, vs = integral.value(inst), split.value(inst)
+        rows.append([label, vi, vs, 0.0 if vs == 0 else (vs - vi) / vs])
+    print(
+        format_table(
+            ["population", "all-or-nothing", "splittable", "relative gap"],
+            rows,
+            title="integrality gap at fixed beam orientations",
+        )
+    )
+    print()
+    print("Shape: the relative gap shrinks as subscriber demands get small")
+    print("compared to beam capacity — exactly the E6 series.")
+
+    # Bonus: show a split subscriber.
+    inst = build_wisp(12, 2.0, seed=11)
+    plan = solve_greedy_multi(inst, oracle, adaptive=True)
+    split = solve_splittable(inst, plan.orientations)
+    partial = np.flatnonzero(
+        (split.fractions.sum(axis=1) > 1e-9)
+        & (split.fractions.max(axis=1) < 1 - 1e-9)
+    )
+    if partial.size:
+        i = int(partial[0])
+        print()
+        print(f"subscriber {i} is split across beams: fractions = "
+              f"{np.round(split.fractions[i], 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro: packing to angles and sectors.
+
+A from-scratch reproduction of *"Packing to angles and sectors"*
+(Berman, Jeong, Kasiviswanathan, Urgaonkar — SPAA 2007 / ECCC TR06-030):
+orienting capacity-constrained directional antennas and packing customer
+demands into them, on the circle (angles) and in the plane (sectors).
+
+Quickstart
+----------
+>>> from repro import generators, get_solver, solve_greedy_multi
+>>> inst = generators.clustered_angles(n=40, k=3, seed=0)
+>>> sol = solve_greedy_multi(inst, get_solver("exact"))
+>>> sol.verify(inst).value(inst) > 0
+True
+
+See ``examples/`` for runnable scenarios, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.geometry import Arc, CircularSweep, Sector
+from repro.knapsack import get_solver
+from repro.model import (
+    AngleInstance,
+    AngleSolution,
+    AntennaSpec,
+    Customer,
+    FeasibilityError,
+    FractionalSolution,
+    SectorInstance,
+    SectorSolution,
+    Station,
+    generators,
+    load_instance,
+    save_instance,
+)
+from repro.packing import (
+    best_rotation,
+    canonical_starts,
+    combined_upper_bound,
+    improve_solution,
+    lp_upper_bound,
+    solve_exact_angle,
+    solve_exact_fixed_orientations,
+    solve_greedy_multi,
+    solve_lp_rounding,
+    solve_non_overlapping_dp,
+    solve_sector_greedy,
+    solve_sector_independent,
+    solve_sector_splittable,
+    solve_shifting,
+    solve_single_antenna,
+    solve_single_antenna_fractional,
+    solve_splittable,
+)
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Arc",
+    "Sector",
+    "CircularSweep",
+    # model
+    "Customer",
+    "AntennaSpec",
+    "Station",
+    "AngleInstance",
+    "SectorInstance",
+    "AngleSolution",
+    "SectorSolution",
+    "FractionalSolution",
+    "FeasibilityError",
+    "generators",
+    "save_instance",
+    "load_instance",
+    # knapsack
+    "get_solver",
+    # packing
+    "canonical_starts",
+    "best_rotation",
+    "solve_single_antenna",
+    "solve_single_antenna_fractional",
+    "solve_greedy_multi",
+    "solve_non_overlapping_dp",
+    "solve_shifting",
+    "improve_solution",
+    "solve_lp_rounding",
+    "lp_upper_bound",
+    "combined_upper_bound",
+    "solve_splittable",
+    "solve_exact_angle",
+    "solve_exact_fixed_orientations",
+    "solve_sector_greedy",
+    "solve_sector_independent",
+    "solve_sector_splittable",
+]

@@ -1,0 +1,50 @@
+"""Measurement, certification, and reporting utilities."""
+
+from repro.analysis.metrics import (
+    RunRecord,
+    approximation_ratio,
+    geometric_mean,
+    summarize,
+    timed,
+)
+from repro.analysis.tables import format_table, format_markdown
+from repro.analysis.stats import InstanceStats, best_window_share, circular_concentration, gini, instance_stats
+from repro.analysis.viz import render_instance, render_loads, render_solution
+from repro.analysis.robustness import (
+    RobustnessPoint,
+    evaluate_plan,
+    replanning_gain,
+    robustness_curve,
+)
+from repro.analysis.experiments import (
+    SolverSpec,
+    compare_solvers,
+    ratio_study,
+    report,
+)
+
+__all__ = [
+    "RunRecord",
+    "approximation_ratio",
+    "geometric_mean",
+    "summarize",
+    "timed",
+    "format_table",
+    "format_markdown",
+    "SolverSpec",
+    "compare_solvers",
+    "ratio_study",
+    "report",
+    "InstanceStats",
+    "instance_stats",
+    "gini",
+    "circular_concentration",
+    "best_window_share",
+    "render_instance",
+    "render_solution",
+    "render_loads",
+    "RobustnessPoint",
+    "evaluate_plan",
+    "robustness_curve",
+    "replanning_gain",
+]

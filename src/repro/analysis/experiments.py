@@ -1,0 +1,116 @@
+"""Generic experiment harness: run solver suites over instance families.
+
+The benchmark scripts under ``benchmarks/`` are thin wrappers over two
+entry points here:
+
+* :func:`compare_solvers` -- run every named solver on every instance,
+  timing each run and recording the value;
+* :func:`ratio_study` -- additionally compute a per-instance reference
+  (exact optimum or an upper bound) and report ratios.
+
+Solvers are plain callables ``instance -> value`` wrapped in
+:class:`SolverSpec` so reports carry names and proven guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import RunRecord, summarize, timed
+from repro.analysis.tables import format_table
+from repro.model.instance import AngleInstance
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A named solver for the harness.
+
+    ``fn`` maps an instance to the achieved objective value.  ``guarantee``
+    is the proven worst-case ratio (``None`` for heuristics without one);
+    the harness asserts measured ratios against it when a reference is
+    available.
+    """
+
+    name: str
+    fn: Callable[..., float]
+    guarantee: Optional[float] = None
+
+
+def compare_solvers(
+    instances: Dict[str, Sequence],
+    solvers: Sequence[SolverSpec],
+    reference: Optional[Callable[..., float]] = None,
+) -> List[RunRecord]:
+    """Run all solvers over all (family, instance) pairs.
+
+    ``reference(instance)`` — typically the exact optimum or an upper
+    bound — is evaluated once per instance and shared by every solver's
+    :attr:`RunRecord.reference`.
+    """
+    records: List[RunRecord] = []
+    for family, family_instances in instances.items():
+        for inst in family_instances:
+            ref = reference(inst) if reference is not None else None
+            for spec in solvers:
+                with timed() as t:
+                    value = spec.fn(inst)
+                records.append(
+                    RunRecord(
+                        solver=spec.name,
+                        family=family,
+                        value=value,
+                        seconds=t["seconds"],
+                        reference=ref,
+                    )
+                )
+    return records
+
+
+def ratio_study(
+    instances: Dict[str, Sequence],
+    solvers: Sequence[SolverSpec],
+    reference: Callable[..., float],
+    check_guarantees: bool = True,
+    slack: float = 1e-9,
+) -> List[RunRecord]:
+    """Like :func:`compare_solvers`, but enforces proven guarantees.
+
+    When ``check_guarantees`` is set, every record whose solver declares a
+    guarantee must satisfy ``value >= guarantee * reference - slack``
+    (valid when ``reference`` is the exact optimum; with an upper-bound
+    reference, disable the check).  Raises ``AssertionError`` otherwise —
+    experiments fail loudly instead of reporting broken numbers.
+    """
+    records = compare_solvers(instances, solvers, reference)
+    if check_guarantees:
+        by_name = {s.name: s for s in solvers}
+        for r in records:
+            g = by_name[r.solver].guarantee
+            if g is not None and r.reference is not None:
+                if r.value < g * r.reference - slack:
+                    raise AssertionError(
+                        f"{r.solver} broke its {g:.3f} guarantee on "
+                        f"{r.family}: {r.value:.6f} < {g:.3f} * {r.reference:.6f}"
+                    )
+    return records
+
+
+def report(records: List[RunRecord], title: str = "results") -> str:
+    """Human-readable summary table of a record list."""
+    agg = summarize(records)
+    headers = ["solver", "runs", "mean value", "mean s", "min ratio", "geo ratio"]
+    rows = []
+    for solver in sorted(agg):
+        e = agg[solver]
+        rows.append(
+            [
+                solver,
+                int(e["runs"]),
+                e["mean_value"],
+                e["mean_seconds"],
+                e.get("min_ratio", float("nan")),
+                e.get("geo_mean_ratio", float("nan")),
+            ]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,74 @@
+"""Profiling helpers: measure before optimizing (the HPC guide's rule #1).
+
+Thin wrappers over :mod:`cProfile` that return structured rows instead of
+dumping text, so experiment scripts can assert on where time goes (e.g.
+"the sweep dominates, not the verifier") and print tidy tables via
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from io import StringIO
+from typing import Callable, List, Tuple
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One function's aggregate from a profile run."""
+
+    function: str
+    calls: int
+    total_time: float      # time inside the function itself
+    cumulative_time: float  # including callees
+
+
+def profile_call(
+    fn: Callable, *args, top: int = 15, **kwargs
+) -> Tuple[object, List[ProfileRow]]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, rows)`` with the ``top`` rows by cumulative time.
+    """
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        prof.disable()
+    stats = pstats.Stats(prof, stream=StringIO())
+    stats.sort_stats("cumulative")
+    rows: List[ProfileRow] = []
+    for func, (cc, nc, tt, ct, callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        # keep the last two path components so module filters (e.g.
+        # "repro") still match after shortening
+        short = "/".join(filename.rsplit("/", 3)[-3:])
+        label = f"{short}:{lineno}({name})"
+        rows.append(
+            ProfileRow(
+                function=label,
+                calls=int(nc),
+                total_time=float(tt),
+                cumulative_time=float(ct),
+            )
+        )
+    rows.sort(key=lambda r: -r.cumulative_time)
+    return result, rows[:top]
+
+
+def hotspots(rows: List[ProfileRow], module_filter: str = "repro") -> List[ProfileRow]:
+    """Keep only rows whose function lives in the given module path part."""
+    return [r for r in rows if module_filter in r.function]
+
+
+def format_profile(rows: List[ProfileRow]) -> str:
+    """Render profile rows as an ASCII table."""
+    from repro.analysis.tables import format_table
+
+    return format_table(
+        ["function", "calls", "tottime (s)", "cumtime (s)"],
+        [[r.function, r.calls, r.total_time, r.cumulative_time] for r in rows],
+    )

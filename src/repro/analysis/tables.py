@@ -1,0 +1,61 @@
+"""Plain-text and Markdown table rendering for experiment reports.
+
+No plotting libraries are available offline, so every "figure" in the
+benchmark harness is rendered as a table of its series — the same numbers
+a plot would show, machine-diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(x: Any, float_fmt: str) -> str:
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, float):
+        return format(x, float_fmt)
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.0]], float_fmt=".1f"))
+    a  b
+    -  ---
+    1  2.0
+    """
+    cells = [[_fmt(x, float_fmt) for x in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = ".4f",
+) -> str:
+    """GitHub-flavoured Markdown table (used by EXPERIMENTS.md updates)."""
+    cells = [[_fmt(x, float_fmt) for x in row] for row in rows]
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for r in cells:
+        out.append("| " + " | ".join(r) + " |")
+    return "\n".join(out)

@@ -1,0 +1,341 @@
+"""Command line interface: ``repro-sectors`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Write a synthetic instance (any registered family) to JSON.
+``solve``
+    Solve an instance file with a chosen algorithm, print a report, and
+    optionally write the solution to JSON.
+``compare``
+    Run the standard solver suite on one instance and print a table.
+``cover``
+    Solve the dual covering problem (serve everyone, minimize antennas).
+``online``
+    Stream an instance's customers through the online admission policies.
+``stats``
+    Print instance statistics and an ASCII rendering.
+``report``
+    Regenerate the compact evaluation report (EXPERIMENTS.md headline rows).
+``families``
+    List the registered instance families and solver names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.model.instance import AngleInstance, SectorInstance
+from repro.model.serialization import (
+    instance_from_dict,
+    load_instance,
+    save_instance,
+    solution_to_dict,
+)
+from repro.packing import (
+    improve_solution,
+    solve_greedy_multi,
+    solve_lp_rounding,
+    solve_non_overlapping_dp,
+    solve_sector_greedy,
+    solve_sector_independent,
+    solve_shifting,
+    solve_exact_angle,
+)
+from repro.packing.bounds import combined_upper_bound
+
+#: Angle-instance algorithms exposed by the CLI.
+ANGLE_ALGORITHMS = (
+    "greedy",
+    "greedy+ls",
+    "adaptive",
+    "dp-disjoint",
+    "shifting",
+    "insertion",
+    "lp-round",
+    "exact",
+)
+
+SECTOR_ALGORITHMS = ("greedy", "independent")
+
+
+def _solve_angle(instance: AngleInstance, algorithm: str, eps: float):
+    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
+    exact_oracle = get_solver("exact")
+    if algorithm == "greedy":
+        return solve_greedy_multi(instance, oracle)
+    if algorithm == "greedy+ls":
+        base = solve_greedy_multi(instance, oracle)
+        return improve_solution(instance, base, oracle)
+    if algorithm == "adaptive":
+        return solve_greedy_multi(instance, oracle, adaptive=True)
+    if algorithm == "dp-disjoint":
+        return solve_non_overlapping_dp(instance, oracle)
+    if algorithm == "shifting":
+        return solve_shifting(instance, oracle)
+    if algorithm == "insertion":
+        from repro.packing.insertion import solve_insertion
+
+        return solve_insertion(instance, oracle)
+    if algorithm == "lp-round":
+        return solve_lp_rounding(instance, oracle)
+    if algorithm == "exact":
+        return solve_exact_angle(instance)
+    raise ValueError(f"unknown angle algorithm {algorithm!r}")
+
+
+def _solve_sector(instance: SectorInstance, algorithm: str, eps: float):
+    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
+    if algorithm == "greedy":
+        return solve_sector_greedy(instance, oracle)
+    if algorithm == "independent":
+        return solve_sector_independent(instance, oracle)
+    raise ValueError(f"unknown sector algorithm {algorithm!r}")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    params = json.loads(args.params) if args.params else {}
+    params.setdefault("seed", args.seed)
+    if args.family in gen.ANGLE_FAMILIES:
+        inst = gen.ANGLE_FAMILIES[args.family](**params)
+    elif args.family in gen.SECTOR_FAMILIES:
+        inst = gen.SECTOR_FAMILIES[args.family](**params)
+    else:
+        print(f"unknown family {args.family!r}", file=sys.stderr)
+        return 2
+    save_instance(inst, args.output)
+    print(f"wrote {inst!r} to {args.output}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    start = time.perf_counter()
+    if isinstance(inst, AngleInstance):
+        sol = _solve_angle(inst, args.algorithm, args.eps)
+    else:
+        sol = _solve_sector(inst, args.algorithm, args.eps)
+    seconds = time.perf_counter() - start
+    sol.verify(inst)
+    rows = [
+        ["algorithm", args.algorithm],
+        ["value", sol.value(inst)],
+        ["served demand", sol.served_demand(inst)],
+        ["total demand", inst.total_demand],
+        ["seconds", seconds],
+    ]
+    if isinstance(inst, AngleInstance):
+        ub = combined_upper_bound(inst)
+        rows.append(["upper bound", ub])
+        rows.append(["ratio vs bound", sol.value(inst) / ub if ub > 0 else 1.0])
+    print(format_table(["metric", "value"], rows, title=f"solve {args.instance}"))
+    if getattr(args, "render", False) and isinstance(inst, AngleInstance):
+        from repro.analysis.viz import render_loads, render_solution
+
+        print()
+        print(render_solution(inst, sol))
+        print()
+        print(render_loads(inst, sol))
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(
+            json.dumps(solution_to_dict(sol), indent=2)
+        )
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    rows = []
+    if isinstance(inst, AngleInstance):
+        algos = [a for a in ANGLE_ALGORITHMS if a != "exact" or inst.n <= 12]
+        solver: Callable = _solve_angle
+    else:
+        algos = list(SECTOR_ALGORITHMS)
+        solver = _solve_sector
+    for algo in algos:
+        start = time.perf_counter()
+        try:
+            sol = solver(inst, algo, args.eps)
+        except (ValueError, RuntimeError) as exc:
+            rows.append([algo, "failed", 0.0, str(exc)[:40]])
+            continue
+        seconds = time.perf_counter() - start
+        sol.verify(inst)
+        rows.append([algo, sol.value(inst), seconds, ""])
+    print(
+        format_table(
+            ["algorithm", "value", "seconds", "note"],
+            rows,
+            title=f"compare {args.instance}",
+        )
+    )
+    return 0
+
+
+def cmd_cover(args: argparse.Namespace) -> int:
+    from repro.packing.covering import cover_instance, verify_cover
+
+    inst = load_instance(args.instance)
+    if not isinstance(inst, AngleInstance):
+        print("cover currently supports angle instances only", file=sys.stderr)
+        return 2
+    oracle = get_solver("fptas", eps=args.eps) if args.eps < 1.0 else get_solver("exact")
+    start = time.perf_counter()
+    res = cover_instance(inst, oracle)
+    seconds = time.perf_counter() - start
+    verify_cover(inst.thetas, inst.demands, inst.antennas[0], res)
+    rows = [
+        ["antennas used", res.antennas_used],
+        ["lower bound", res.lower_bound],
+        ["gap", res.gap()],
+        ["seconds", seconds],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"cover {args.instance}"))
+    return 0
+
+
+def cmd_online(args: argparse.Namespace) -> int:
+    from repro.online import (
+        OnlineAdmission,
+        POLICIES,
+        replay_offline_reference,
+        work_conserving_bound,
+    )
+    from repro.packing import solve_greedy_multi as _sgm
+
+    inst = load_instance(args.instance)
+    if not isinstance(inst, AngleInstance):
+        print("online currently supports angle instances only", file=sys.stderr)
+        return 2
+    oracle = get_solver("greedy")
+    plan = _sgm(inst, oracle, adaptive=True)
+    rng = np.random.default_rng(args.seed)
+    order = rng.permutation(inst.n)
+    thetas = inst.thetas[order]
+    demands = inst.demands[order]
+    offline = replay_offline_reference(inst.antennas, plan.orientations, thetas, demands)
+    floor = work_conserving_bound(inst.antennas, demands)
+    rows = []
+    for name in sorted(POLICIES):
+        sim = OnlineAdmission(inst.antennas, plan.orientations, policy=name)
+        online = sim.run(thetas, demands)
+        rows.append([name, online, 1.0 if offline <= 0 else online / offline,
+                     sim.rejected_count])
+    print(
+        format_table(
+            ["policy", "accepted", "vs offline", "rejected"],
+            rows,
+            title=f"online {args.instance} (offline={offline:.3f}, floor={floor:.3f})",
+        )
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import instance_stats
+    from repro.analysis.viz import render_instance
+
+    inst = load_instance(args.instance)
+    if not isinstance(inst, AngleInstance):
+        print("stats currently supports angle instances only", file=sys.stderr)
+        return 2
+    s = instance_stats(inst)
+    rows = [[k, v] for k, v in s.as_dict().items()]
+    print(format_table(["statistic", "value"], rows, title=f"stats {args.instance}"))
+    print()
+    print(render_instance(inst))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report_runner import run_report
+
+    print(run_report(seeds=args.seeds, quick=args.quick))
+    return 0
+
+
+def cmd_families(args: argparse.Namespace) -> int:
+    print("angle families:  " + ", ".join(sorted(gen.ANGLE_FAMILIES)))
+    print("sector families: " + ", ".join(sorted(gen.SECTOR_FAMILIES)))
+    print("angle algorithms:  " + ", ".join(ANGLE_ALGORITHMS))
+    print("sector algorithms: " + ", ".join(SECTOR_ALGORITHMS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-sectors",
+        description="Packing to angles and sectors (SPAA 2007 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic instance")
+    g.add_argument("family", help="instance family name (see `families`)")
+    g.add_argument("output", help="output JSON path")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--params", help="JSON dict of generator keyword args")
+    g.set_defaults(fn=cmd_generate)
+
+    s = sub.add_parser("solve", help="solve an instance file")
+    s.add_argument("instance", help="instance JSON path")
+    s.add_argument(
+        "--algorithm",
+        default="greedy+ls",
+        choices=sorted(set(ANGLE_ALGORITHMS) | set(SECTOR_ALGORITHMS)),
+    )
+    s.add_argument("--eps", type=float, default=1.0,
+                   help="< 1 uses the FPTAS oracle at this eps; 1 = exact oracle")
+    s.add_argument("--output", help="write the solution JSON here")
+    s.add_argument("--render", action="store_true",
+                   help="ASCII-render the solution (angle instances)")
+    s.set_defaults(fn=cmd_solve)
+
+    c = sub.add_parser("compare", help="run the solver suite on an instance")
+    c.add_argument("instance", help="instance JSON path")
+    c.add_argument("--eps", type=float, default=1.0)
+    c.set_defaults(fn=cmd_compare)
+
+    cov = sub.add_parser("cover", help="serve everyone with minimum antennas")
+    cov.add_argument("instance", help="angle-instance JSON path")
+    cov.add_argument("--eps", type=float, default=1.0)
+    cov.set_defaults(fn=cmd_cover)
+
+    onl = sub.add_parser("online", help="stream customers through admission policies")
+    onl.add_argument("instance", help="angle-instance JSON path")
+    onl.add_argument("--seed", type=int, default=0, help="arrival-order shuffle seed")
+    onl.set_defaults(fn=cmd_online)
+
+    st = sub.add_parser("stats", help="instance statistics + ASCII rendering")
+    st.add_argument("instance", help="angle-instance JSON path")
+    st.set_defaults(fn=cmd_stats)
+
+    rep = sub.add_parser("report", help="regenerate the evaluation report")
+    rep.add_argument("--seeds", type=int, default=3)
+    rep.add_argument("--quick", action="store_true",
+                     help="skip the exact-solver experiments")
+    rep.set_defaults(fn=cmd_report)
+
+    f = sub.add_parser("families", help="list families and algorithms")
+    f.set_defaults(fn=cmd_families)
+    return p
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Circular and planar geometry substrate for angle/sector packing.
+
+This package implements every geometric primitive the packing algorithms
+rely on:
+
+* :mod:`repro.geometry.angles` -- normalization and arithmetic on angles in
+  ``[0, 2*pi)``, scalar and NumPy-vectorized.
+* :mod:`repro.geometry.arcs` -- circular intervals (``Arc``) with
+  containment, intersection, and measure operations.
+* :mod:`repro.geometry.points` -- planar points, polar/cartesian conversion.
+* :mod:`repro.geometry.sectors` -- the paper's directional antenna footprint
+  ``(alpha, rho, R)`` anchored at an apex, with vectorized membership.
+* :mod:`repro.geometry.sweep` -- the circular two-pointer sweep that
+  enumerates all canonical windows of a given width over a set of angles.
+
+Everything here is deterministic and side-effect free.
+"""
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angular_distance,
+    ccw_delta,
+    normalize_angle,
+    normalize_angles,
+)
+from repro.geometry.arcs import Arc
+from repro.geometry.points import (
+    cartesian_to_polar,
+    polar_to_cartesian,
+    relative_polar,
+)
+from repro.geometry.interval_set import CircularIntervalSet
+from repro.geometry.sectors import Sector
+from repro.geometry.sweep import CircularSweep, WindowView
+
+__all__ = [
+    "TWO_PI",
+    "normalize_angle",
+    "normalize_angles",
+    "ccw_delta",
+    "angular_distance",
+    "Arc",
+    "CircularIntervalSet",
+    "cartesian_to_polar",
+    "polar_to_cartesian",
+    "relative_polar",
+    "Sector",
+    "CircularSweep",
+    "WindowView",
+]

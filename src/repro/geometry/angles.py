@@ -1,0 +1,149 @@
+"""Angle arithmetic on the circle ``[0, 2*pi)``.
+
+All angles in the library are radians normalized to the half-open interval
+``[0, 2*pi)``.  The two non-obvious operations that everything else builds
+on are:
+
+``ccw_delta(a, b)``
+    The counter-clockwise travel from ``a`` to ``b``, always in
+    ``[0, 2*pi)``.  It is the workhorse of arc containment: an arc starting
+    at ``s`` with width ``w`` contains ``x`` iff ``ccw_delta(s, x) <= w``.
+
+``angular_distance(a, b)``
+    The undirected geodesic distance on the circle, in ``[0, pi]``.
+
+Scalar helpers accept plain floats; the ``*_array`` / plural variants accept
+NumPy arrays and are fully vectorized (no Python-level loops), per the HPC
+guide idiom of pushing hot loops into NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+#: Full turn, used throughout the library instead of the literal ``2 * pi``.
+TWO_PI: float = 2.0 * math.pi
+
+#: Tolerance used when snapping values that are within floating-point noise
+#: of ``2*pi`` back to ``0``.  Chosen large enough to absorb a handful of
+#: rounding steps but far below any meaningful angular resolution.
+_EPS_WRAP: float = 1e-12
+
+
+def normalize_angle(theta: float) -> float:
+    """Normalize a scalar angle to ``[0, 2*pi)``.
+
+    Values within ``1e-12`` of ``2*pi`` are snapped to ``0.0`` so that
+    repeated arithmetic cannot produce an angle that compares ``>= 2*pi``.
+
+    >>> normalize_angle(-math.pi / 2) == 3 * math.pi / 2
+    True
+    >>> normalize_angle(2 * math.pi)
+    0.0
+    """
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    if theta >= TWO_PI - _EPS_WRAP:
+        theta = 0.0
+    return theta
+
+
+def normalize_angles(thetas: Iterable[float] | np.ndarray) -> np.ndarray:
+    """Vectorized :func:`normalize_angle` returning a float64 array.
+
+    >>> normalize_angles([0.0, -math.pi, 5 * math.pi])  # doctest: +SKIP
+    array([0.        , 3.14159265, 3.14159265])
+    """
+    arr = np.asarray(thetas, dtype=np.float64)
+    out = np.mod(arr, TWO_PI)
+    # np.mod already maps negatives into [0, 2*pi), but values a hair below
+    # 2*pi (from the mod of e.g. -1e-17) must snap to zero exactly as the
+    # scalar version does.
+    out[out >= TWO_PI - _EPS_WRAP] = 0.0
+    return out
+
+
+def ccw_delta(start: float, target: float) -> float:
+    """Counter-clockwise travel from ``start`` to ``target`` in ``[0, 2*pi)``.
+
+    Both inputs may be un-normalized.  ``ccw_delta(a, a) == 0``.
+
+    >>> round(ccw_delta(0.0, math.pi / 2), 10) == round(math.pi / 2, 10)
+    True
+    >>> ccw_delta(math.pi / 2, 0.0) == 3 * math.pi / 2
+    True
+    """
+    return normalize_angle(target - start)
+
+
+def ccw_deltas(start: float, targets: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ccw_delta` for one start against many targets."""
+    return normalize_angles(np.asarray(targets, dtype=np.float64) - start)
+
+
+def angular_distance(a: float, b: float) -> float:
+    """Undirected circular distance between two angles, in ``[0, pi]``.
+
+    >>> abs(angular_distance(0.1, TWO_PI - 0.1) - 0.2) < 1e-12
+    True
+    """
+    d = ccw_delta(a, b)
+    return min(d, TWO_PI - d)
+
+
+def angular_distances(a: float, bs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`angular_distance` for one angle against many."""
+    d = ccw_deltas(a, bs)
+    return np.minimum(d, TWO_PI - d)
+
+
+def angles_in_window(
+    thetas: np.ndarray, start: float, width: float
+) -> np.ndarray:
+    """Boolean mask: which angles lie in the closed arc ``[start, start+width]``.
+
+    The arc is closed on both ends, matching the paper's
+    ``alpha <= theta <= alpha + rho``.  ``width`` may be any value in
+    ``[0, 2*pi]``; a width of ``2*pi`` covers every angle.
+
+    This is the vectorized membership primitive used by sector filtering and
+    by the solution feasibility checker, so it must agree exactly with
+    :meth:`repro.geometry.arcs.Arc.contains`.
+    """
+    if width >= TWO_PI:
+        return np.ones(np.shape(thetas), dtype=bool)
+    deltas = ccw_deltas(start, np.asarray(thetas, dtype=np.float64))
+    # Closed right end: delta == width counts as inside.  A tiny tolerance
+    # absorbs the normalization rounding of start/target.
+    return deltas <= width + _EPS_WRAP
+
+
+def circular_sorted(thetas: np.ndarray) -> np.ndarray:
+    """Indices sorting angles ascending after normalization (stable)."""
+    return np.argsort(normalize_angles(thetas), kind="stable")
+
+
+def angles_in_windows(
+    thetas: np.ndarray, starts: np.ndarray, widths: np.ndarray
+) -> np.ndarray:
+    """Batch membership: ``(n, m)`` mask of angles against ``m`` windows.
+
+    The fully vectorized generalization of :func:`angles_in_window`
+    (one ``(n, m)`` broadcast instead of a Python loop over windows) —
+    used by the coverage-matrix builders of the flow and sector layers.
+    Agrees exactly with the scalar predicate, including the closed ends
+    and the full-circle case.
+    """
+    t = np.asarray(thetas, dtype=np.float64).reshape(-1)
+    s = np.asarray(starts, dtype=np.float64).reshape(-1)
+    w = np.asarray(widths, dtype=np.float64).reshape(-1)
+    if s.shape != w.shape:
+        raise ValueError(f"starts {s.shape} and widths {w.shape} must align")
+    deltas = normalize_angles(t[:, None] - s[None, :])
+    mask = deltas <= w[None, :] + _EPS_WRAP
+    mask |= w[None, :] >= TWO_PI
+    return mask

@@ -1,0 +1,210 @@
+"""Circular intervals (arcs) on the unit circle.
+
+An :class:`Arc` is the angular footprint of a directional antenna: the set
+``{start + t mod 2*pi : 0 <= t <= width}``.  Arcs are *closed* on both ends
+(the paper's ``alpha <= theta <= alpha + rho``) and a width of ``2*pi`` is
+the full circle.
+
+The operations the packing layer needs are containment (of angles and of
+other arcs), pairwise intersection/disjointness (for the non-overlapping
+variant), and the measure of a union of arcs (used by instance statistics
+and by the shifting scheme's loss accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.angles import (
+    TWO_PI,
+    _EPS_WRAP,
+    angles_in_window,
+    ccw_delta,
+    normalize_angle,
+)
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A closed circular interval ``[start, start + width]`` (mod ``2*pi``).
+
+    Parameters
+    ----------
+    start:
+        Any angle in radians; normalized to ``[0, 2*pi)`` on construction.
+    width:
+        Angular width in ``[0, 2*pi]``.  Widths outside that range raise
+        ``ValueError`` — a "wider than full circle" arc is always a bug in
+        the caller.
+    """
+
+    start: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.width <= TWO_PI + _EPS_WRAP):
+            raise ValueError(f"arc width must be in [0, 2*pi], got {self.width}")
+        object.__setattr__(self, "start", normalize_angle(self.start))
+        object.__setattr__(self, "width", min(float(self.width), TWO_PI))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> float:
+        """The (normalized) end angle ``start + width mod 2*pi``."""
+        return normalize_angle(self.start + self.width)
+
+    @property
+    def is_full_circle(self) -> bool:
+        return self.width >= TWO_PI
+
+    def contains(self, theta: float) -> bool:
+        """Closed containment of a single angle."""
+        if self.is_full_circle:
+            return True
+        return ccw_delta(self.start, theta) <= self.width + _EPS_WRAP
+
+    def contains_angles(self, thetas: np.ndarray) -> np.ndarray:
+        """Vectorized closed containment; returns a boolean mask."""
+        return angles_in_window(np.asarray(thetas, dtype=np.float64), self.start, self.width)
+
+    def contains_arc(self, other: "Arc") -> bool:
+        """True iff every point of ``other`` lies in ``self``."""
+        if self.is_full_circle:
+            return True
+        if other.is_full_circle:
+            return False
+        off = ccw_delta(self.start, other.start)
+        return off <= self.width + _EPS_WRAP and off + other.width <= self.width + _EPS_WRAP
+
+    # ------------------------------------------------------------------
+    # Pairwise relations
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Arc") -> bool:
+        """True iff the closed arcs share at least one point.
+
+        Two arcs that merely touch at an endpoint *do* intersect (they are
+        closed sets).  The non-overlapping packing variant therefore uses
+        :meth:`overlaps_interior`, which ignores endpoint contact.
+        """
+        if self.is_full_circle or other.is_full_circle:
+            return True
+        return (
+            ccw_delta(self.start, other.start) <= self.width + _EPS_WRAP
+            or ccw_delta(other.start, self.start) <= other.width + _EPS_WRAP
+        )
+
+    def overlaps_interior(self, other: "Arc") -> bool:
+        """True iff the arcs share a set of positive measure.
+
+        Endpoint contact (one arc ending exactly where the other starts)
+        does not count.  Degenerate zero-width arcs never overlap anything
+        in the interior sense.
+        """
+        if self.width == 0.0 or other.width == 0.0:
+            return False
+        if self.is_full_circle or other.is_full_circle:
+            return True
+        tol = 1e-9
+        a = ccw_delta(self.start, other.start)
+        b = ccw_delta(other.start, self.start)
+        return a < self.width - tol or b < other.width - tol
+
+    def intersection_measure(self, other: "Arc") -> float:
+        """Total angular length of ``self`` ∩ ``other`` (0 if disjoint).
+
+        The intersection of two arcs can have up to two components (when
+        each arc's start lies inside the other); both are summed.
+        """
+        if self.is_full_circle:
+            return other.width
+        if other.is_full_circle:
+            return self.width
+        total = 0.0
+        a = ccw_delta(self.start, other.start)
+        if a <= self.width + _EPS_WRAP:
+            total += min(self.width - a, other.width)
+        b = ccw_delta(other.start, self.start)
+        # Count the second component only if it is genuinely distinct from
+        # the first (b == 0 and a == 0 would double count identical starts).
+        if 0.0 < b <= other.width + _EPS_WRAP:
+            total += min(other.width - b, self.width)
+        return max(0.0, min(total, min(self.width, other.width)))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def rotated(self, delta: float) -> "Arc":
+        """A copy of this arc rotated counter-clockwise by ``delta``."""
+        return Arc(self.start + delta, self.width)
+
+    def sample_angles(self, k: int) -> np.ndarray:
+        """``k`` evenly spaced angles inside the arc (endpoints included).
+
+        Useful for plotting/examples and for randomized tests that need
+        points guaranteed to be covered.
+        """
+        if k <= 0:
+            return np.empty(0, dtype=np.float64)
+        if k == 1:
+            offs = np.array([self.width / 2.0])
+        else:
+            offs = np.linspace(0.0, self.width, k)
+        return np.mod(self.start + offs, TWO_PI)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Arc(start={self.start:.6f}, width={self.width:.6f})"
+
+
+def arcs_pairwise_disjoint(arcs: Sequence[Arc]) -> bool:
+    """True iff no two arcs in the sequence overlap in the interior sense.
+
+    This is the feasibility predicate of the non-overlapping rotation
+    variant.  Quadratic in the number of arcs, which is fine: the number of
+    antennas per station is small (the paper's setting), and the check is
+    used for verification rather than inside solver inner loops.
+    """
+    for i in range(len(arcs)):
+        for j in range(i + 1, len(arcs)):
+            if arcs[i].overlaps_interior(arcs[j]):
+                return False
+    return True
+
+
+def union_measure(arcs: Iterable[Arc]) -> float:
+    """Total angular measure of the union of a collection of arcs.
+
+    Implemented by the standard cut-and-sweep: if any arc is the full
+    circle the answer is ``2*pi``; otherwise cut the circle at the start of
+    the first arc and merge linear intervals.
+    """
+    arc_list = [a for a in arcs if a.width > 0.0]
+    if not arc_list:
+        return 0.0
+    if any(a.is_full_circle for a in arc_list):
+        return TWO_PI
+    cut = arc_list[0].start
+    intervals: list[tuple[float, float]] = []
+    for a in arc_list:
+        s = ccw_delta(cut, a.start)
+        e = s + a.width
+        if e <= TWO_PI + _EPS_WRAP:
+            intervals.append((s, min(e, TWO_PI)))
+        else:
+            intervals.append((s, TWO_PI))
+            intervals.append((0.0, e - TWO_PI))
+    intervals.sort()
+    total = 0.0
+    cur_s, cur_e = intervals[0]
+    for s, e in intervals[1:]:
+        if s <= cur_e + _EPS_WRAP:
+            cur_e = max(cur_e, e)
+        else:
+            total += cur_e - cur_s
+            cur_s, cur_e = s, e
+    total += cur_e - cur_s
+    return min(total, TWO_PI)

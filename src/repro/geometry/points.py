@@ -1,0 +1,88 @@
+"""Planar points and polar/cartesian conversion.
+
+The 2-D sector problem is solved by reducing, per base station, to the 1-D
+angle problem: every customer is expressed in polar coordinates *relative to
+the station*.  These conversions are the only place the library touches
+cartesian coordinates, and they are vectorized over arrays of points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI, normalize_angles
+
+
+def polar_to_cartesian(theta: float, r: float) -> Tuple[float, float]:
+    """Convert a single polar coordinate to ``(x, y)``.
+
+    >>> x, y = polar_to_cartesian(0.0, 2.0)
+    >>> (round(x, 12), round(y, 12))
+    (2.0, 0.0)
+    """
+    return (r * math.cos(theta), r * math.sin(theta))
+
+
+def polars_to_cartesian(thetas: np.ndarray, rs: np.ndarray) -> np.ndarray:
+    """Vectorized polar→cartesian; returns an ``(n, 2)`` float array."""
+    thetas = np.asarray(thetas, dtype=np.float64)
+    rs = np.asarray(rs, dtype=np.float64)
+    return np.stack([rs * np.cos(thetas), rs * np.sin(thetas)], axis=-1)
+
+
+def cartesian_to_polar(x: float, y: float) -> Tuple[float, float]:
+    """Convert ``(x, y)`` to ``(theta, r)`` with ``theta`` in ``[0, 2*pi)``.
+
+    The origin maps to ``(0.0, 0.0)``; its angle is arbitrary and callers
+    that care (a customer exactly on a base station) must special-case it —
+    the model layer treats such customers as covered by every orientation.
+    """
+    r = math.hypot(x, y)
+    if r == 0.0:
+        return (0.0, 0.0)
+    theta = math.atan2(y, x)
+    if theta < 0.0:
+        theta += TWO_PI
+    return (theta, r)
+
+
+def cartesians_to_polar(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized cartesian→polar for an ``(n, 2)`` array.
+
+    Returns ``(thetas, rs)``; points at the origin get angle ``0.0``.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) array of points, got shape {pts.shape}")
+    rs = np.hypot(pts[:, 0], pts[:, 1])
+    thetas = np.arctan2(pts[:, 1], pts[:, 0])
+    thetas = normalize_angles(thetas)
+    thetas[rs == 0.0] = 0.0
+    return thetas, rs
+
+
+def relative_polar(points: np.ndarray, origin: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Polar coordinates of ``points`` relative to ``origin``.
+
+    This is the per-station reduction primitive: ``origin`` is a base
+    station position, ``points`` the customer positions.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    org = np.asarray(origin, dtype=np.float64).reshape(1, 2)
+    return cartesians_to_polar(pts - org)
+
+
+def pairwise_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Euclidean distances between ``(n, 2)`` points and ``(m, 2)`` centers.
+
+    Returns an ``(n, m)`` matrix.  Uses broadcasting rather than building
+    intermediate cubes larger than necessary (HPC guide: operate on arrays
+    as small as possible before combining).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    ctr = np.asarray(centers, dtype=np.float64)
+    diff = pts[:, None, :] - ctr[None, :, :]
+    return np.sqrt(np.einsum("nmk,nmk->nm", diff, diff))

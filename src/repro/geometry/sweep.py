@@ -1,0 +1,219 @@
+"""Circular sweep: enumerate all canonical windows over a set of angles.
+
+The canonical-rotation lemma (see :mod:`repro.packing.canonical`) shows that
+a single arc of width ``rho`` may be assumed to *start at a customer angle*.
+The sweep therefore only ever needs the ``n`` windows ``[theta_i,
+theta_i + rho]``.  Because the customers covered by such a window form a
+*contiguous run in sorted angular order* (wrapping around ``2*pi``), the
+whole family of windows is represented by ``(lo, hi)`` index pairs into the
+sorted order, computed in ``O(n log n)`` with one ``searchsorted`` call —
+no Python-level loop (HPC-guide vectorization idiom).
+
+:class:`CircularSweep` precomputes the sorted order and the window
+boundaries once; :class:`WindowView` is a lightweight view of one window
+that exposes the covered customers as *original* indices.  ``window_sums``
+evaluates ``sum(values[covered])`` for *all* windows at once via a doubled
+prefix sum, which is the workhorse of the greedy and DP solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI, normalize_angles
+
+#: Tolerance for the closed right end of a window (matches Arc.contains).
+_WINDOW_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class WindowView:
+    """One canonical window of a :class:`CircularSweep`.
+
+    Attributes
+    ----------
+    start:
+        The window's start angle (a customer angle).
+    lo, hi:
+        Half-open range ``[lo, hi)`` into the sweep's sorted order; ``hi``
+        may exceed ``n`` to express wrap-around (indices are taken mod n).
+    sweep:
+        The owning sweep (used to materialize indices lazily).
+    """
+
+    start: float
+    lo: int
+    hi: int
+    sweep: "CircularSweep"
+
+    @property
+    def count(self) -> int:
+        """Number of covered customers."""
+        return self.hi - self.lo
+
+    @property
+    def sorted_positions(self) -> np.ndarray:
+        """Positions of covered customers in sorted order (mod n)."""
+        n = self.sweep.n
+        return np.arange(self.lo, self.hi) % n
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Original (instance) indices of the covered customers."""
+        return self.sweep.order[self.sorted_positions]
+
+    def covers_original(self, original_index: int) -> bool:
+        """True iff the customer with this original index is in the window."""
+        pos = self.sweep.rank_of_original[original_index]
+        if self.hi <= self.sweep.n:
+            return self.lo <= pos < self.hi
+        return pos >= self.lo or pos < self.hi - self.sweep.n
+
+
+class CircularSweep:
+    """All width-``rho`` windows starting at customer angles.
+
+    Parameters
+    ----------
+    thetas:
+        Customer angles (any radians; normalized internally).  May contain
+        duplicates.
+    width:
+        Window width ``rho`` in ``[0, 2*pi]``.
+
+    Notes
+    -----
+    ``O(n log n)`` preprocessing, ``O(1)`` per window afterwards.  Windows
+    are indexed ``0..n-1`` in sorted-angle order; duplicate start angles
+    produce identical windows (callers that care use
+    :meth:`unique_window_ids`).
+    """
+
+    def __init__(self, thetas: Sequence[float] | np.ndarray, width: float):
+        if not (0.0 <= width <= TWO_PI + _WINDOW_EPS):
+            raise ValueError(f"window width must be in [0, 2*pi], got {width}")
+        self.width = float(min(width, TWO_PI))
+        thetas = np.asarray(thetas, dtype=np.float64)
+        self.thetas = normalize_angles(thetas)
+        self.n = int(self.thetas.shape[0])
+        #: order[k] = original index of the k-th smallest angle
+        self.order = np.argsort(self.thetas, kind="stable")
+        self.sorted_thetas = self.thetas[self.order]
+        #: rank_of_original[i] = position of original customer i in sorted order
+        self.rank_of_original = np.empty(self.n, dtype=np.intp)
+        self.rank_of_original[self.order] = np.arange(self.n)
+        if self.n == 0:
+            self._lo = np.empty(0, dtype=np.intp)
+            self._hi = np.empty(0, dtype=np.intp)
+            return
+        if self.width >= TWO_PI:
+            self._lo = np.arange(self.n)
+            self._hi = self._lo + self.n
+        else:
+            # A window starting at theta_k also covers customers whose angle
+            # equals theta_k but sorts *before* position k (duplicates), and
+            # angles within the wrap-snap tolerance just below theta_k.
+            self._lo = np.searchsorted(
+                self.sorted_thetas, self.sorted_thetas - _WINDOW_EPS, side="left"
+            )
+            doubled = np.concatenate([self.sorted_thetas, self.sorted_thetas + TWO_PI])
+            targets = self.sorted_thetas + self.width + _WINDOW_EPS
+            hi = np.searchsorted(doubled, targets, side="right")
+            # A window never covers more than all n customers.
+            self._hi = np.minimum(hi, self._lo + self.n)
+
+    # ------------------------------------------------------------------
+    # Window access
+    # ------------------------------------------------------------------
+    def window(self, k: int) -> WindowView:
+        """The window starting at the ``k``-th smallest customer angle."""
+        if not (0 <= k < self.n):
+            raise IndexError(f"window index {k} out of range [0, {self.n})")
+        return WindowView(
+            start=float(self.sorted_thetas[k]),
+            lo=int(self._lo[k]),
+            hi=int(self._hi[k]),
+            sweep=self,
+        )
+
+    def windows(self) -> Iterator[WindowView]:
+        """Iterate over all ``n`` canonical windows in sorted-start order."""
+        for k in range(self.n):
+            yield self.window(k)
+
+    def window_at(self, start: float, closed_end: bool = True) -> WindowView:
+        """The window ``[start, start + width]`` for an *arbitrary* start.
+
+        Unlike :meth:`window`, the start need not be a customer angle; the
+        non-overlapping DP probes the enriched candidate grid
+        ``theta_i + j * rho`` with this method.  ``closed_end=False`` makes
+        the window half-open ``[start, start + width)`` — used by the
+        disjoint-arcs DP so that two stacked windows sharing a boundary
+        never both claim a customer sitting exactly on it.  ``O(log n)``.
+        """
+        from repro.geometry.angles import normalize_angle
+
+        s = normalize_angle(start)
+        if self.n == 0:
+            return WindowView(start=s, lo=0, hi=0, sweep=self)
+        lo = int(
+            np.searchsorted(self.sorted_thetas, s - _WINDOW_EPS, side="left")
+        )
+        if self.width >= TWO_PI:
+            return WindowView(start=s, lo=lo, hi=lo + self.n, sweep=self)
+        end_tol = _WINDOW_EPS if closed_end else -_WINDOW_EPS
+        doubled_target = s + self.width + end_tol
+        hi = int(
+            np.searchsorted(
+                np.concatenate([self.sorted_thetas, self.sorted_thetas + TWO_PI]),
+                doubled_target,
+                side="right",
+            )
+        )
+        hi = max(lo, min(hi, lo + self.n))
+        return WindowView(start=s, lo=lo, hi=hi, sweep=self)
+
+    def unique_window_ids(self) -> np.ndarray:
+        """Window ids with duplicate (start angle, hi) pairs removed.
+
+        Duplicate customer angles yield byte-identical windows; solvers that
+        do expensive per-window work (knapsack) skip the duplicates.
+        """
+        if self.n == 0:
+            return np.empty(0, dtype=np.intp)
+        keep = np.ones(self.n, dtype=bool)
+        same_start = np.isclose(np.diff(self.sorted_thetas), 0.0, atol=1e-15)
+        keep[1:] = ~same_start
+        return np.flatnonzero(keep)
+
+    def counts(self) -> np.ndarray:
+        """Number of covered customers for every window (vectorized)."""
+        return self._hi - self._lo
+
+    def window_sums(self, values: np.ndarray) -> np.ndarray:
+        """``sum(values[covered])`` for every canonical window at once.
+
+        ``values`` is indexed by *original* customer index.  Runs in
+        ``O(n)`` after preprocessing via a doubled prefix sum.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n,):
+            raise ValueError(
+                f"values must have shape ({self.n},), got {values.shape}"
+            )
+        if self.n == 0:
+            return np.empty(0, dtype=np.float64)
+        v_sorted = values[self.order]
+        prefix = np.concatenate([[0.0], np.cumsum(np.concatenate([v_sorted, v_sorted]))])
+        return prefix[self._hi] - prefix[self._lo]
+
+    def best_window_by_sum(self, values: np.ndarray) -> tuple[int, float]:
+        """Window id maximizing :meth:`window_sums` and its value."""
+        sums = self.window_sums(values)
+        if sums.size == 0:
+            raise ValueError("sweep over empty instance has no windows")
+        k = int(np.argmax(sums))
+        return k, float(sums[k])

@@ -1,0 +1,49 @@
+"""0/1 knapsack engine: the inner oracle of every packing algorithm.
+
+The packing problem's per-antenna subproblem is: given the customers covered
+by an oriented arc, choose a maximum-profit subset whose total demand fits
+the antenna capacity.  That is 0/1 knapsack (with the paper's
+profit-equals-demand objective it specializes to maximum subset-sum, still
+NP-hard).  This package supplies interchangeable solvers:
+
+============  =========================  ==========================
+solver        guarantee                  complexity
+============  =========================  ==========================
+exact DP      optimal (integer weights)  O(n * C)
+branch&bound  optimal (any weights)      exponential worst case
+FPTAS         >= (1 - eps) * OPT         O(n^2 / eps) (profit scaling)
+greedy        >= OPT / 2                 O(n log n)
+fractional    optimal *fractional*       O(n log n)  (upper bound)
+============  =========================  ==========================
+
+All solvers share the signature ``solve(weights, profits, capacity)`` and
+return a :class:`~repro.knapsack.api.KnapsackResult`; ``get_solver(name)``
+resolves a registry entry.
+"""
+
+from repro.knapsack.api import (
+    KNAPSACK_SOLVERS,
+    KnapsackResult,
+    KnapsackSolver,
+    get_solver,
+)
+from repro.knapsack.branch_bound import solve_branch_and_bound
+from repro.knapsack.exact import solve_exact_auto, solve_exact_integer
+from repro.knapsack.fptas import solve_fptas
+from repro.knapsack.fractional import FractionalResult, solve_fractional
+from repro.knapsack.profit_dp import solve_exact_by_profit
+from repro.knapsack.greedy import solve_greedy
+
+__all__ = [
+    "KnapsackResult",
+    "KnapsackSolver",
+    "KNAPSACK_SOLVERS",
+    "get_solver",
+    "solve_exact_integer",
+    "solve_exact_auto",
+    "solve_branch_and_bound",
+    "solve_fptas",
+    "solve_greedy",
+    "solve_fractional",
+    "FractionalResult",
+]

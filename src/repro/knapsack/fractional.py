@@ -1,0 +1,86 @@
+"""Fractional (splittable) knapsack: exact in ``O(n log n)``.
+
+Items may be taken fractionally; the optimum is the classic density greedy
+(take items by decreasing profit/weight until the capacity is exactly
+exhausted, splitting the last item).  Two uses in this library:
+
+* the exact solver for the *splittable* packing variant, and
+* the upper bound inside branch & bound (the LP relaxation of 0/1
+  knapsack is exactly the fractional optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knapsack.api import _as_arrays
+
+
+@dataclass(frozen=True)
+class FractionalResult:
+    """Outcome of a fractional knapsack solve.
+
+    ``fractions[i]`` in ``[0, 1]`` is the fraction of item ``i`` taken;
+    ``value = sum profits * fractions``; ``weight = sum weights * fractions``.
+    """
+
+    fractions: np.ndarray
+    value: float
+    weight: float
+
+    @property
+    def integral_support(self) -> np.ndarray:
+        """Indices taken entirely (fraction == 1)."""
+        return np.flatnonzero(self.fractions >= 1.0 - 1e-12)
+
+    @property
+    def split_item(self) -> int | None:
+        """The (at most one) fractionally taken item's index, or ``None``."""
+        partial = np.flatnonzero(
+            (self.fractions > 1e-12) & (self.fractions < 1.0 - 1e-12)
+        )
+        if partial.size == 0:
+            return None
+        return int(partial[0])
+
+
+def solve_fractional(weights, profits, capacity: float) -> FractionalResult:
+    """Optimal fractional knapsack by density greedy.
+
+    Zero-weight items with positive profit are always taken whole.  The
+    result has at most one fractional item — the structural fact the
+    branch-and-bound pruning rule and the rounding analyses rely on.
+    """
+    w, p = _as_arrays(weights, profits)
+    n = w.size
+    fractions = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return FractionalResult(fractions=fractions, value=0.0, weight=0.0)
+    free = (w <= 1e-12) & (p > 0)
+    fractions[free] = 1.0
+    cap = max(0.0, float(capacity))
+    # Density order over weighted items (zero-profit items never help).
+    heavy = np.flatnonzero((w > 1e-12) & (p > 0))
+    if heavy.size:
+        density = p[heavy] / w[heavy]
+        order = heavy[np.argsort(-density, kind="stable")]
+        remaining = cap
+        for i in order:
+            if remaining <= 1e-15:
+                break
+            if w[i] <= remaining:
+                fractions[i] = 1.0
+                remaining -= w[i]
+            else:
+                fractions[i] = remaining / w[i]
+                remaining = 0.0
+    value = float((p * fractions).sum())
+    weight = float((w * fractions).sum())
+    return FractionalResult(fractions=fractions, value=value, weight=weight)
+
+
+def fractional_upper_bound(weights, profits, capacity: float) -> float:
+    """The fractional optimum as a scalar (an upper bound on 0/1 OPT)."""
+    return solve_fractional(weights, profits, capacity).value

@@ -1,0 +1,48 @@
+"""Problem model: customers, antennas, instances, solutions, generators.
+
+The model layer is deliberately independent of the solvers: instances
+validate themselves on construction, and solutions are *verified* against
+instances by code that no solver shares, so a buggy solver cannot
+accidentally certify its own output.
+"""
+
+from repro.model.antenna import AntennaSpec, OrientedAntenna
+from repro.model.customer import Customer
+from repro.model.instance import AngleInstance, SectorInstance, Station
+from repro.model.solution import (
+    AngleSolution,
+    FeasibilityError,
+    FractionalSolution,
+    SectorSolution,
+)
+from repro.model import generators
+from repro.model import perturbation
+from repro.model.serialization import (
+    angle_instance_from_dict,
+    angle_instance_to_dict,
+    load_instance,
+    save_instance,
+    sector_instance_from_dict,
+    sector_instance_to_dict,
+)
+
+__all__ = [
+    "Customer",
+    "AntennaSpec",
+    "OrientedAntenna",
+    "AngleInstance",
+    "SectorInstance",
+    "Station",
+    "AngleSolution",
+    "FractionalSolution",
+    "SectorSolution",
+    "FeasibilityError",
+    "generators",
+    "perturbation",
+    "angle_instance_to_dict",
+    "angle_instance_from_dict",
+    "sector_instance_to_dict",
+    "sector_instance_from_dict",
+    "save_instance",
+    "load_instance",
+]

@@ -1,0 +1,88 @@
+"""Antenna specifications and oriented antennas.
+
+An :class:`AntennaSpec` is the paper's ``(rho, R)`` plus a capacity: the
+*orientation-free* description of a directional antenna.  Orienting a spec
+at an angle ``alpha`` produces an :class:`OrientedAntenna`, whose footprint
+is an :class:`~repro.geometry.arcs.Arc` (1-D instances) or a
+:class:`~repro.geometry.sectors.Sector` (2-D instances).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geometry.angles import TWO_PI
+from repro.geometry.arcs import Arc
+from repro.geometry.sectors import Sector
+
+
+@dataclass(frozen=True)
+class AntennaSpec:
+    """Orientation-free antenna description.
+
+    Parameters
+    ----------
+    rho:
+        Angular width in ``(0, 2*pi]``.
+    capacity:
+        Maximum total demand the antenna can serve; must be positive.
+    radius:
+        Serving radius ``R``.  ``math.inf`` (the default) means the antenna
+        reaches arbitrarily far — the right value for pure angle instances.
+    name:
+        Optional identifier for reports.
+    """
+
+    rho: float
+    capacity: float
+    radius: float = math.inf
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.rho <= TWO_PI + 1e-12):
+            raise ValueError(f"antenna width rho must be in (0, 2*pi], got {self.rho}")
+        object.__setattr__(self, "rho", min(float(self.rho), TWO_PI))
+        if not (self.capacity > 0.0):
+            raise ValueError(f"antenna capacity must be positive, got {self.capacity}")
+        if not (self.radius > 0.0):
+            raise ValueError(f"antenna radius must be positive, got {self.radius}")
+
+    @property
+    def is_omnidirectional(self) -> bool:
+        """True when the antenna covers the full circle (``rho == 2*pi``)."""
+        return self.rho >= TWO_PI
+
+    def oriented(self, alpha: float) -> "OrientedAntenna":
+        """Orient this spec at start angle ``alpha``."""
+        return OrientedAntenna(spec=self, alpha=alpha)
+
+    def scaled_capacity(self, factor: float) -> "AntennaSpec":
+        """A copy with capacity multiplied by ``factor`` (> 0)."""
+        if factor <= 0.0:
+            raise ValueError("capacity scale factor must be positive")
+        return AntennaSpec(self.rho, self.capacity * factor, self.radius, self.name)
+
+
+@dataclass(frozen=True)
+class OrientedAntenna:
+    """An antenna spec fixed at a concrete orientation ``alpha``."""
+
+    spec: AntennaSpec
+    alpha: float
+
+    @property
+    def arc(self) -> Arc:
+        """Angular footprint ``[alpha, alpha + rho]``."""
+        return Arc(self.alpha, self.spec.rho)
+
+    def sector(self, apex: Tuple[float, float]) -> Sector:
+        """Planar footprint when mounted at ``apex``.
+
+        Requires a finite radius; a spec with ``radius == inf`` has no
+        bounded planar footprint.
+        """
+        if math.isinf(self.spec.radius):
+            raise ValueError("cannot build a planar sector from an infinite radius")
+        return Sector(apex=apex, arc=self.arc, radius=self.spec.radius)

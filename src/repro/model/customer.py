@@ -1,0 +1,61 @@
+"""Customer records.
+
+Instances store customers as parallel NumPy arrays (HPC-guide layout);
+:class:`Customer` is the user-facing record used when building instances by
+hand and when reading them back out for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geometry.angles import normalize_angle
+
+
+@dataclass(frozen=True)
+class Customer:
+    """One customer of the packing problem.
+
+    Parameters
+    ----------
+    demand:
+        Positive demand (bandwidth, load, ...) that must fit inside an
+        antenna's capacity if the customer is served.
+    theta:
+        Angular position in radians (for pure angle instances).  Exactly one
+        of ``theta`` / ``position`` must be given.
+    position:
+        ``(x, y)`` planar position (for sector instances).
+    profit:
+        Value gained by serving the customer.  Defaults to ``demand`` —
+        the paper's "maximize total assigned demand" objective.
+    label:
+        Optional free-form identifier carried through serialization.
+    """
+
+    demand: float
+    theta: Optional[float] = None
+    position: Optional[Tuple[float, float]] = None
+    profit: Optional[float] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0.0:
+            raise ValueError(f"customer demand must be positive, got {self.demand}")
+        if (self.theta is None) == (self.position is None):
+            raise ValueError("exactly one of theta / position must be set")
+        if self.theta is not None:
+            object.__setattr__(self, "theta", normalize_angle(float(self.theta)))
+        if self.position is not None:
+            x, y = self.position
+            object.__setattr__(self, "position", (float(x), float(y)))
+        if self.profit is None:
+            object.__setattr__(self, "profit", float(self.demand))
+        elif self.profit <= 0.0:
+            raise ValueError(f"customer profit must be positive, got {self.profit}")
+
+    @property
+    def is_angular(self) -> bool:
+        """True for a 1-D (angle-only) customer."""
+        return self.theta is not None

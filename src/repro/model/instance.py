@@ -1,0 +1,381 @@
+"""Problem instances: packing to angles (1-D) and packing to sectors (2-D).
+
+Both instance classes are immutable-by-convention: their arrays are marked
+read-only, and all "modification" methods return new instances.  Customers
+live in parallel arrays (struct-of-arrays, per the HPC guides) so the
+solvers can vectorize membership and prefix-sum computations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angles
+from repro.geometry.points import relative_polar
+from repro.model.antenna import AntennaSpec
+from repro.model.customer import Customer
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    out = np.array(arr, dtype=np.float64, copy=True)
+    out.flags.writeable = False
+    return out
+
+
+def _validate_customer_arrays(
+    demands: np.ndarray, profits: np.ndarray, n: int
+) -> None:
+    if demands.shape != (n,):
+        raise ValueError(f"demands must have shape ({n},), got {demands.shape}")
+    if profits.shape != (n,):
+        raise ValueError(f"profits must have shape ({n},), got {profits.shape}")
+    if n and (demands <= 0).any():
+        raise ValueError("all demands must be positive")
+    if n and (profits <= 0).any():
+        raise ValueError("all profits must be positive")
+    if n and (~np.isfinite(demands)).any():
+        raise ValueError("demands must be finite")
+    if n and (~np.isfinite(profits)).any():
+        raise ValueError("profits must be finite")
+
+
+@dataclass(frozen=True)
+class AngleInstance:
+    """Packing-to-angles instance: customers on a circle, arcs with capacity.
+
+    Parameters
+    ----------
+    thetas:
+        ``(n,)`` customer angles in radians (normalized on construction).
+    demands:
+        ``(n,)`` positive demands.
+    antennas:
+        One :class:`AntennaSpec` per antenna; at least one.  Radii are
+        ignored in the 1-D problem (every customer is reachable).
+    profits:
+        ``(n,)`` positive profits; defaults to ``demands`` (the paper's
+        maximize-served-demand objective).
+    """
+
+    thetas: np.ndarray
+    demands: np.ndarray
+    antennas: Tuple[AntennaSpec, ...]
+    profits: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        thetas = normalize_angles(np.asarray(self.thetas, dtype=np.float64))
+        demands = np.asarray(self.demands, dtype=np.float64)
+        n = thetas.shape[0]
+        profits = (
+            demands.copy()
+            if self.profits is None
+            else np.asarray(self.profits, dtype=np.float64)
+        )
+        if thetas.ndim != 1:
+            raise ValueError(f"thetas must be 1-D, got shape {thetas.shape}")
+        _validate_customer_arrays(demands, profits, n)
+        antennas = tuple(self.antennas)
+        if not antennas:
+            raise ValueError("instance needs at least one antenna")
+        if not all(isinstance(a, AntennaSpec) for a in antennas):
+            raise TypeError("antennas must be AntennaSpec objects")
+        object.__setattr__(self, "thetas", _readonly(thetas))
+        object.__setattr__(self, "demands", _readonly(demands))
+        object.__setattr__(self, "profits", _readonly(profits))
+        object.__setattr__(self, "antennas", antennas)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_customers(
+        cls, customers: Sequence[Customer], antennas: Sequence[AntennaSpec]
+    ) -> "AngleInstance":
+        """Build from :class:`Customer` records (must all be angular)."""
+        if any(not c.is_angular for c in customers):
+            raise ValueError("AngleInstance requires angular customers (theta set)")
+        return cls(
+            thetas=np.array([c.theta for c in customers], dtype=np.float64),
+            demands=np.array([c.demand for c in customers], dtype=np.float64),
+            profits=np.array([c.profit for c in customers], dtype=np.float64),
+            antennas=tuple(antennas),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of customers."""
+        return int(self.thetas.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Number of antennas."""
+        return len(self.antennas)
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """``(k,)`` vector of antenna capacities."""
+        return np.array([a.capacity for a in self.antennas], dtype=np.float64)
+
+    @property
+    def widths(self) -> np.ndarray:
+        """``(k,)`` vector of antenna angular widths."""
+        return np.array([a.rho for a in self.antennas], dtype=np.float64)
+
+    @property
+    def total_demand(self) -> float:
+        return float(self.demands.sum())
+
+    @property
+    def total_profit(self) -> float:
+        return float(self.profits.sum())
+
+    @property
+    def has_uniform_antennas(self) -> bool:
+        """True when all antennas share width and capacity."""
+        first = self.antennas[0]
+        return all(
+            a.rho == first.rho and a.capacity == first.capacity
+            for a in self.antennas
+        )
+
+    @property
+    def profit_equals_demand(self) -> bool:
+        """True for the paper's objective (profit == demand)."""
+        return bool(np.array_equal(self.profits, self.demands))
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def restrict(self, indices: np.ndarray) -> Tuple["AngleInstance", np.ndarray]:
+        """Sub-instance over the given customer indices.
+
+        Returns ``(sub_instance, original_indices)`` where
+        ``original_indices[j]`` is the index in *this* instance of the
+        ``j``-th customer of the sub-instance.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        idx = idx.astype(np.intp)
+        sub = AngleInstance(
+            thetas=self.thetas[idx],
+            demands=self.demands[idx],
+            profits=self.profits[idx],
+            antennas=self.antennas,
+        )
+        return sub, idx
+
+    def with_antennas(self, antennas: Sequence[AntennaSpec]) -> "AngleInstance":
+        """Same customers, different antenna set."""
+        return AngleInstance(
+            thetas=self.thetas,
+            demands=self.demands,
+            profits=self.profits,
+            antennas=tuple(antennas),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AngleInstance):
+            return NotImplemented
+        return (
+            np.array_equal(self.thetas, other.thetas)
+            and np.array_equal(self.demands, other.demands)
+            and np.array_equal(self.profits, other.profits)
+            and self.antennas == other.antennas
+        )
+
+    def __hash__(self) -> int:  # dataclass(frozen) would use fields; arrays unhashable
+        return hash((self.n, self.k, float(self.demands.sum()) if self.n else 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AngleInstance(n={self.n}, k={self.k}, total_demand={self.total_demand:.3f})"
+
+
+@dataclass(frozen=True)
+class Station:
+    """A base station: a position holding one or more antennas.
+
+    All antennas of a sector instance must have finite radii (otherwise the
+    sector is unbounded and the 2-D problem degenerates to the 1-D one).
+    """
+
+    position: Tuple[float, float]
+    antennas: Tuple[AntennaSpec, ...]
+
+    def __post_init__(self) -> None:
+        x, y = self.position
+        object.__setattr__(self, "position", (float(x), float(y)))
+        antennas = tuple(self.antennas)
+        if not antennas:
+            raise ValueError("a station needs at least one antenna")
+        if any(math.isinf(a.radius) for a in antennas):
+            raise ValueError("sector-instance antennas need finite radii")
+        object.__setattr__(self, "antennas", antennas)
+
+    @property
+    def k(self) -> int:
+        return len(self.antennas)
+
+    @property
+    def max_radius(self) -> float:
+        return max(a.radius for a in self.antennas)
+
+
+@dataclass(frozen=True)
+class SectorInstance:
+    """Packing-to-sectors instance: planar customers, stations with antennas.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` customer positions.
+    demands / profits:
+        As in :class:`AngleInstance`.
+    stations:
+        At least one :class:`Station`.
+    """
+
+    positions: np.ndarray
+    demands: np.ndarray
+    stations: Tuple[Station, ...]
+    profits: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
+        n = pos.shape[0]
+        demands = np.asarray(self.demands, dtype=np.float64)
+        profits = (
+            demands.copy()
+            if self.profits is None
+            else np.asarray(self.profits, dtype=np.float64)
+        )
+        _validate_customer_arrays(demands, profits, n)
+        stations = tuple(self.stations)
+        if not stations:
+            raise ValueError("instance needs at least one station")
+        if not all(isinstance(s, Station) for s in stations):
+            raise TypeError("stations must be Station objects")
+        object.__setattr__(self, "positions", _readonly(pos))
+        object.__setattr__(self, "demands", _readonly(demands))
+        object.__setattr__(self, "profits", _readonly(profits))
+        object.__setattr__(self, "stations", stations)
+
+    @classmethod
+    def from_customers(
+        cls, customers: Sequence[Customer], stations: Sequence[Station]
+    ) -> "SectorInstance":
+        """Build from :class:`Customer` records (must all be planar)."""
+        if any(c.is_angular for c in customers):
+            raise ValueError("SectorInstance requires planar customers (position set)")
+        return cls(
+            positions=np.array([c.position for c in customers], dtype=np.float64),
+            demands=np.array([c.demand for c in customers], dtype=np.float64),
+            profits=np.array([c.profit for c in customers], dtype=np.float64),
+            stations=tuple(stations),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of stations."""
+        return len(self.stations)
+
+    @property
+    def total_antennas(self) -> int:
+        return sum(s.k for s in self.stations)
+
+    @property
+    def total_demand(self) -> float:
+        return float(self.demands.sum())
+
+    @property
+    def total_profit(self) -> float:
+        return float(self.profits.sum())
+
+    def antenna_table(self) -> list[tuple[int, int, AntennaSpec]]:
+        """Global antenna enumeration: ``(global_id, station_id, spec)``.
+
+        Global ids are assigned station by station in declaration order and
+        are the antenna indices used by :class:`SectorSolution`.
+        """
+        table = []
+        g = 0
+        for s_id, st in enumerate(self.stations):
+            for spec in st.antennas:
+                table.append((g, s_id, spec))
+                g += 1
+        return table
+
+    # ------------------------------------------------------------------
+    # Per-station geometry
+    # ------------------------------------------------------------------
+    def station_polar(self, station_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(thetas, rs)`` of every customer relative to the station."""
+        st = self.stations[station_id]
+        return relative_polar(self.positions, np.asarray(st.position))
+
+    def reachable_mask(self, station_id: int, radius: Optional[float] = None) -> np.ndarray:
+        """Customers within ``radius`` (default: station max) of the station."""
+        st = self.stations[station_id]
+        r = st.max_radius if radius is None else radius
+        _, rs = self.station_polar(station_id)
+        return rs <= r * (1.0 + 1e-12)
+
+    def station_angle_instance(
+        self, station_id: int
+    ) -> Tuple[AngleInstance, np.ndarray]:
+        """Reduce one station to a 1-D angle instance.
+
+        Keeps only customers within the station's *minimum* antenna radius
+        when radii differ (the conservative reduction that is exact for the
+        common equal-radius case), and returns the original customer
+        indices alongside.  Mixed-radius stations are handled exactly by
+        the 2-D solvers in :mod:`repro.packing.sectors`, which work with
+        per-antenna eligibility masks instead.
+        """
+        st = self.stations[station_id]
+        r_min = min(a.radius for a in st.antennas)
+        thetas, rs = self.station_polar(station_id)
+        mask = rs <= r_min * (1.0 + 1e-12)
+        idx = np.flatnonzero(mask)
+        sub = AngleInstance(
+            thetas=thetas[idx],
+            demands=self.demands[idx],
+            profits=self.profits[idx],
+            antennas=st.antennas,
+        )
+        return sub, idx
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SectorInstance):
+            return NotImplemented
+        return (
+            np.array_equal(self.positions, other.positions)
+            and np.array_equal(self.demands, other.demands)
+            and np.array_equal(self.profits, other.profits)
+            and self.stations == other.stations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m, float(self.demands.sum()) if self.n else 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SectorInstance(n={self.n}, stations={self.m}, "
+            f"antennas={self.total_antennas}, total_demand={self.total_demand:.3f})"
+        )

@@ -1,0 +1,150 @@
+"""Instance perturbation: noise models for robustness studies.
+
+A plan is computed on a *forecast* instance; reality differs.  These
+helpers produce controlled perturbations of an instance — demand noise
+(multiplicative lognormal), angular jitter (wrapped normal), and customer
+churn (drop/replace) — so experiments can measure how a fixed orientation
+plan degrades as the realization drifts from the forecast (experiment
+E13) and how much re-planning buys (experiment E14).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI, normalize_angles
+from repro.model.generators import RngLike, _rng
+from repro.model.instance import AngleInstance
+
+
+def perturb_demands(
+    instance: AngleInstance, sigma: float, seed: RngLike = 0
+) -> AngleInstance:
+    """Multiply each demand by an independent lognormal factor.
+
+    ``sigma`` is the standard deviation of the underlying normal; 0 is a
+    no-op.  Profits follow demands when the instance uses the paper's
+    profit-equals-demand objective, and are kept fixed otherwise.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    rng = _rng(seed)
+    factors = np.exp(rng.normal(0.0, sigma, size=instance.n))
+    new_demands = instance.demands * factors
+    profits = new_demands if instance.profit_equals_demand else instance.profits
+    return AngleInstance(
+        thetas=instance.thetas,
+        demands=new_demands,
+        profits=profits,
+        antennas=instance.antennas,
+    )
+
+
+def perturb_angles(
+    instance: AngleInstance, sigma: float, seed: RngLike = 0
+) -> AngleInstance:
+    """Add wrapped-normal jitter of standard deviation ``sigma`` (radians)."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    rng = _rng(seed)
+    thetas = normalize_angles(
+        instance.thetas + rng.normal(0.0, sigma, size=instance.n)
+    )
+    return AngleInstance(
+        thetas=thetas,
+        demands=instance.demands,
+        profits=instance.profits,
+        antennas=instance.antennas,
+    )
+
+
+def churn_customers(
+    instance: AngleInstance,
+    churn_fraction: float,
+    seed: RngLike = 0,
+) -> AngleInstance:
+    """Replace a random fraction of customers with fresh uniform ones.
+
+    Departing customers are chosen uniformly; arrivals get uniform angles
+    and demands resampled (with replacement) from the surviving empirical
+    demand distribution, keeping the demand scale comparable.
+    """
+    if not (0.0 <= churn_fraction <= 1.0):
+        raise ValueError(f"churn_fraction must be in [0, 1], got {churn_fraction}")
+    if instance.n == 0 or churn_fraction == 0.0:
+        return instance
+    rng = _rng(seed)
+    n_out = int(round(churn_fraction * instance.n))
+    if n_out == 0:
+        return instance
+    leave = rng.choice(instance.n, size=n_out, replace=False)
+    keep = np.setdiff1d(np.arange(instance.n), leave)
+    pool = instance.demands[keep] if keep.size else instance.demands
+    new_thetas = rng.uniform(0.0, TWO_PI, size=n_out)
+    new_demands = rng.choice(pool, size=n_out, replace=True)
+    thetas = np.concatenate([instance.thetas[keep], new_thetas])
+    demands = np.concatenate([instance.demands[keep], new_demands])
+    if instance.profit_equals_demand:
+        profits = demands.copy()
+    else:
+        new_profits = rng.choice(
+            instance.profits[keep] if keep.size else instance.profits,
+            size=n_out,
+            replace=True,
+        )
+        profits = np.concatenate([instance.profits[keep], new_profits])
+    return AngleInstance(
+        thetas=thetas, demands=demands, profits=profits, antennas=instance.antennas
+    )
+
+
+def perturb(
+    instance: AngleInstance,
+    demand_sigma: float = 0.0,
+    angle_sigma: float = 0.0,
+    churn_fraction: float = 0.0,
+    seed: RngLike = 0,
+) -> AngleInstance:
+    """Compose the three noise models (demands, angles, churn) in order."""
+    rng = _rng(seed)
+    out = instance
+    if demand_sigma > 0:
+        out = perturb_demands(out, demand_sigma, rng)
+    if angle_sigma > 0:
+        out = perturb_angles(out, angle_sigma, rng)
+    if churn_fraction > 0:
+        out = churn_customers(out, churn_fraction, rng)
+    return out
+
+
+def rotating_demand_series(
+    base: AngleInstance,
+    periods: int = 4,
+    rotation_per_period: Optional[float] = None,
+    demand_sigma: float = 0.1,
+    seed: RngLike = 0,
+) -> list[AngleInstance]:
+    """A temporal series: the demand pattern rotates around the circle.
+
+    Models the day/night drift of hotspot demand (downtown by day,
+    residential by night): each period the customer angles advance by
+    ``rotation_per_period`` (default ``2*pi/periods``) with fresh demand
+    noise.  Used by experiment E14 (value of re-orienting steerable
+    antennas each period vs freezing one plan).
+    """
+    if periods < 1:
+        raise ValueError(f"periods must be >= 1, got {periods}")
+    rng = _rng(seed)
+    step = TWO_PI / periods if rotation_per_period is None else rotation_per_period
+    series = []
+    for p in range(periods):
+        rotated = AngleInstance(
+            thetas=normalize_angles(base.thetas + p * step),
+            demands=base.demands,
+            profits=base.profits,
+            antennas=base.antennas,
+        )
+        series.append(perturb_demands(rotated, demand_sigma, rng))
+    return series

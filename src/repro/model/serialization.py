@@ -1,0 +1,157 @@
+"""JSON (de)serialization of instances and solutions.
+
+The on-disk format is plain JSON so instances can be shipped between the
+CLI, the benchmark harness, and external tools.  Round-tripping is exact
+for the float64 values NumPy produces (JSON carries full ``repr``
+precision via Python floats).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance, SectorInstance, Station
+from repro.model.solution import AngleSolution, SectorSolution
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _antenna_to_dict(a: AntennaSpec) -> Dict[str, Any]:
+    return {
+        "rho": a.rho,
+        "capacity": a.capacity,
+        "radius": None if math.isinf(a.radius) else a.radius,
+        "name": a.name,
+    }
+
+
+def _antenna_from_dict(d: Dict[str, Any]) -> AntennaSpec:
+    return AntennaSpec(
+        rho=float(d["rho"]),
+        capacity=float(d["capacity"]),
+        radius=math.inf if d.get("radius") is None else float(d["radius"]),
+        name=d.get("name"),
+    )
+
+
+def angle_instance_to_dict(instance: AngleInstance) -> Dict[str, Any]:
+    """Serialize a 1-D instance to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "angle",
+        "thetas": instance.thetas.tolist(),
+        "demands": instance.demands.tolist(),
+        "profits": instance.profits.tolist(),
+        "antennas": [_antenna_to_dict(a) for a in instance.antennas],
+    }
+
+
+def angle_instance_from_dict(d: Dict[str, Any]) -> AngleInstance:
+    if d.get("kind") != "angle":
+        raise ValueError(f"expected kind 'angle', got {d.get('kind')!r}")
+    return AngleInstance(
+        thetas=np.asarray(d["thetas"], dtype=np.float64),
+        demands=np.asarray(d["demands"], dtype=np.float64),
+        profits=np.asarray(d["profits"], dtype=np.float64),
+        antennas=tuple(_antenna_from_dict(a) for a in d["antennas"]),
+    )
+
+
+def sector_instance_to_dict(instance: SectorInstance) -> Dict[str, Any]:
+    """Serialize a 2-D instance to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "sector",
+        "positions": instance.positions.tolist(),
+        "demands": instance.demands.tolist(),
+        "profits": instance.profits.tolist(),
+        "stations": [
+            {
+                "position": list(s.position),
+                "antennas": [_antenna_to_dict(a) for a in s.antennas],
+            }
+            for s in instance.stations
+        ],
+    }
+
+
+def sector_instance_from_dict(d: Dict[str, Any]) -> SectorInstance:
+    if d.get("kind") != "sector":
+        raise ValueError(f"expected kind 'sector', got {d.get('kind')!r}")
+    stations = tuple(
+        Station(
+            position=(float(s["position"][0]), float(s["position"][1])),
+            antennas=tuple(_antenna_from_dict(a) for a in s["antennas"]),
+        )
+        for s in d["stations"]
+    )
+    return SectorInstance(
+        positions=np.asarray(d["positions"], dtype=np.float64),
+        demands=np.asarray(d["demands"], dtype=np.float64),
+        profits=np.asarray(d["profits"], dtype=np.float64),
+        stations=stations,
+    )
+
+
+def instance_to_dict(instance: Union[AngleInstance, SectorInstance]) -> Dict[str, Any]:
+    if isinstance(instance, AngleInstance):
+        return angle_instance_to_dict(instance)
+    if isinstance(instance, SectorInstance):
+        return sector_instance_to_dict(instance)
+    raise TypeError(f"unsupported instance type {type(instance)!r}")
+
+
+def instance_from_dict(d: Dict[str, Any]) -> Union[AngleInstance, SectorInstance]:
+    kind = d.get("kind")
+    if kind == "angle":
+        return angle_instance_from_dict(d)
+    if kind == "sector":
+        return sector_instance_from_dict(d)
+    raise ValueError(f"unknown instance kind {kind!r}")
+
+
+def save_instance(instance: Union[AngleInstance, SectorInstance], path: PathLike) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: PathLike) -> Union[AngleInstance, SectorInstance]:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Solutions
+# ----------------------------------------------------------------------
+def solution_to_dict(solution: Union[AngleSolution, SectorSolution]) -> Dict[str, Any]:
+    kind = "angle" if isinstance(solution, AngleSolution) else "sector"
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": kind,
+        "orientations": solution.orientations.tolist(),
+        "assignment": solution.assignment.tolist(),
+    }
+
+
+def solution_from_dict(d: Dict[str, Any]) -> Union[AngleSolution, SectorSolution]:
+    cls = AngleSolution if d.get("kind") == "angle" else SectorSolution
+    return cls(
+        orientations=np.asarray(d["orientations"], dtype=np.float64),
+        assignment=np.asarray(d["assignment"], dtype=np.int64),
+    )
+
+
+def save_solution(solution: Union[AngleSolution, SectorSolution], path: PathLike) -> None:
+    Path(path).write_text(json.dumps(solution_to_dict(solution), indent=2))
+
+
+def load_solution(path: PathLike) -> Union[AngleSolution, SectorSolution]:
+    return solution_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""Online variant: customers arrive one at a time, decisions are final.
+
+The SPAA 2007 problem is offline; the natural online relaxation (an
+operator admits subscribers as they sign up, with beams already oriented)
+is implemented here: fixed orientations, an arrival stream of customers,
+and irrevocable accept/assign-or-reject decisions.
+"""
+
+from repro.online.admission import (
+    AdmissionPolicy,
+    OnlineAdmission,
+    POLICIES,
+    replay_offline_reference,
+    work_conserving_bound,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "OnlineAdmission",
+    "POLICIES",
+    "work_conserving_bound",
+    "replay_offline_reference",
+]

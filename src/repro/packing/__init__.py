@@ -1,0 +1,101 @@
+"""Core packing algorithms: the paper's contribution.
+
+Solvers for the packing-to-angles (1-D) and packing-to-sectors (2-D)
+problems, organised by variant:
+
+* :mod:`repro.packing.canonical` -- the rotation lemma and candidate
+  orientation enumeration every other solver builds on.
+* :mod:`repro.packing.single` -- single-antenna solvers (exact, FPTAS
+  sweep, greedy sweep, exact fractional).
+* :mod:`repro.packing.multi` -- multi-antenna solvers: greedy
+  multi-knapsack, the non-overlapping circular DP.
+* :mod:`repro.packing.local_search` -- rotate/reassign improvement.
+* :mod:`repro.packing.lp` -- LP relaxation upper bound + randomized
+  rounding.
+* :mod:`repro.packing.flow` -- splittable (fractional) optimum for fixed
+  orientations via max-flow / LP.
+* :mod:`repro.packing.exact` -- exponential exact solvers (ground truth).
+* :mod:`repro.packing.shifting` -- shifted-cut scheme for the
+  non-overlapping variant.
+* :mod:`repro.packing.bounds` -- cheap upper bounds for certification.
+* :mod:`repro.packing.sectors` -- the 2-D pipeline.
+"""
+
+from repro.packing.canonical import canonical_starts, rotation_candidates
+from repro.packing.single import (
+    RotationOutcome,
+    best_rotation,
+    best_rotation_fractional,
+    solve_single_antenna,
+    solve_single_antenna_fractional,
+)
+from repro.packing.multi import (
+    solve_greedy_multi,
+    solve_non_overlapping_dp,
+)
+from repro.packing.local_search import improve_solution
+from repro.packing.lp import lp_upper_bound, solve_lp_rounding
+from repro.packing.flow import splittable_value, solve_splittable
+from repro.packing.exact import (
+    solve_exact_angle,
+    solve_exact_fixed_orientations,
+)
+from repro.packing.shifting import solve_shifting
+from repro.packing.insertion import solve_insertion
+from repro.packing.bounds import (
+    capacity_upper_bound,
+    combined_upper_bound,
+    fractional_rotation_upper_bound,
+)
+from repro.packing.sectors import (
+    improve_sector_solution,
+    solve_exact_sector,
+    solve_exact_sector_single,
+    solve_sector_greedy,
+    solve_sector_independent,
+    solve_sector_splittable,
+)
+from repro.packing.covering import (
+    CoverResult,
+    InfeasibleCoverError,
+    cover_instance,
+    cover_lower_bound,
+    greedy_cover,
+    verify_cover,
+)
+
+__all__ = [
+    "canonical_starts",
+    "rotation_candidates",
+    "RotationOutcome",
+    "best_rotation",
+    "best_rotation_fractional",
+    "solve_single_antenna",
+    "solve_single_antenna_fractional",
+    "solve_greedy_multi",
+    "solve_non_overlapping_dp",
+    "improve_solution",
+    "lp_upper_bound",
+    "solve_lp_rounding",
+    "splittable_value",
+    "solve_splittable",
+    "solve_exact_angle",
+    "solve_exact_fixed_orientations",
+    "solve_shifting",
+    "solve_insertion",
+    "capacity_upper_bound",
+    "combined_upper_bound",
+    "fractional_rotation_upper_bound",
+    "solve_sector_greedy",
+    "solve_sector_independent",
+    "solve_sector_splittable",
+    "improve_sector_solution",
+    "solve_exact_sector",
+    "solve_exact_sector_single",
+    "greedy_cover",
+    "cover_instance",
+    "cover_lower_bound",
+    "verify_cover",
+    "CoverResult",
+    "InfeasibleCoverError",
+]

@@ -1,0 +1,60 @@
+"""Assignment heuristics for *fixed* orientations.
+
+Once orientations are frozen the problem is a multiple-knapsack with
+coverage restrictions.  :func:`greedy_assignment_fixed` packs antennas one
+at a time with the knapsack oracle (the fixed-orientation analogue of
+:func:`~repro.packing.multi.solve_greedy_multi`, same
+``beta/(1+beta)`` guarantee relative to the best assignment *for these
+orientations*); it is the rounding back end of the LP solver and the
+evaluation step of local-search restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.arcs import Arc
+from repro.knapsack.api import KnapsackSolver
+from repro.model.instance import AngleInstance
+from repro.model.solution import AngleSolution
+
+
+def greedy_assignment_fixed(
+    instance: AngleInstance,
+    orientations: Sequence[float] | np.ndarray,
+    oracle: KnapsackSolver,
+    antenna_order: Optional[Sequence[int]] = None,
+) -> AngleSolution:
+    """Greedy multiple-knapsack assignment for frozen orientations.
+
+    Antennas (default order: decreasing capacity) each pack the remaining
+    customers inside their arc with the oracle.  With a ``beta``-oracle
+    this is ``beta/(1+beta)``-approximate w.r.t. the optimal assignment at
+    these orientations.
+    """
+    ori = np.asarray(orientations, dtype=np.float64).reshape(-1)
+    if ori.shape != (instance.k,):
+        raise ValueError(
+            f"orientations must have shape ({instance.k},), got {ori.shape}"
+        )
+    if antenna_order is None:
+        antenna_order = list(np.argsort([-a.capacity for a in instance.antennas]))
+    assignment = np.full(instance.n, -1, dtype=np.int64)
+    remaining = np.ones(instance.n, dtype=bool)
+    for j in antenna_order:
+        arc = Arc(float(ori[j]), instance.antennas[j].rho)
+        avail = remaining & arc.contains_angles(instance.thetas)
+        idx = np.flatnonzero(avail)
+        if idx.size == 0:
+            continue
+        res = oracle.solve(
+            instance.demands[idx],
+            instance.profits[idx],
+            instance.antennas[j].capacity,
+        )
+        chosen = idx[res.selected]
+        assignment[chosen] = j
+        remaining[chosen] = False
+    return AngleSolution(orientations=ori, assignment=assignment)

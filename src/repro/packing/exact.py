@@ -1,0 +1,261 @@
+"""Exponential exact solvers: the ground truth for ratio certification.
+
+Two layers:
+
+* :func:`solve_exact_fixed_orientations` -- optimal *assignment* for frozen
+  orientations (a coverage-restricted multiple knapsack), by depth-first
+  branch & bound over customers with a fractional relaxation bound.
+* :func:`solve_exact_angle` -- optimal solution overall, by enumerating
+  canonical orientation tuples (deduplicated by coverage, symmetric tuples
+  collapsed for identical antennas) and running the assignment B&B on each
+  surviving tuple after cheap-bound pruning.
+
+Intended for small instances (roughly ``n <= 20``, ``k <= 3``); both
+functions guard their search budget and raise ``RuntimeError`` rather than
+run away.  Every experiment that reports an approximation *ratio* against
+OPT uses these solvers as the denominator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.arcs import Arc, arcs_pairwise_disjoint
+from repro.geometry.sweep import CircularSweep
+from repro.model.instance import AngleInstance
+from repro.model.solution import AngleSolution
+from repro.packing.canonical import rotation_candidates
+from repro.packing.flow import covered_matrix
+
+
+def exact_assignment(
+    cover: np.ndarray,
+    demands: np.ndarray,
+    profits: np.ndarray,
+    capacities: np.ndarray,
+    max_nodes: int = 2_000_000,
+) -> np.ndarray:
+    """Optimal coverage-restricted multiple-knapsack assignment by B&B.
+
+    The geometry-agnostic core shared by the 1-D and 2-D exact solvers:
+    ``cover`` is the boolean eligibility matrix (customer x bin), and the
+    return is an ``(n,)`` bin index array (``-1`` = rejected).  Customers
+    are branched in decreasing demand order; the pruning bound is the
+    fractional optimum of the remaining customers into the pooled
+    remaining capacity.  Raises ``RuntimeError`` past ``max_nodes``.
+    """
+    n = cover.shape[0]
+    assignment = np.full(n, -1, dtype=np.int64)
+    coverable = np.flatnonzero(cover.any(axis=1))
+    if coverable.size == 0:
+        return assignment
+
+    # Branch order: decreasing demand (big rocks first).
+    order = coverable[np.argsort(-demands[coverable], kind="stable")]
+    d = demands[order]
+    p = profits[order]
+    cov = cover[order]
+    m = order.size
+
+    # For the fractional suffix bound: items sorted by density once.
+    dens_order_global = np.argsort(-(p / d), kind="stable")
+
+    def suffix_fractional(t: int, cap_total: float) -> float:
+        """Fractional optimum of items t.. into pooled capacity."""
+        bound = 0.0
+        rem = cap_total
+        for idx in dens_order_global:
+            if idx < t:
+                continue
+            if rem <= 1e-15:
+                break
+            if d[idx] <= rem:
+                bound += p[idx]
+                rem -= d[idx]
+            else:
+                bound += p[idx] * (rem / d[idx])
+                rem = 0.0
+        return bound
+
+    caps0 = np.asarray(capacities, dtype=np.float64)
+    best_value = -1.0
+    best_assign = np.full(m, -1, dtype=np.int64)
+    nodes = 0
+    cur = np.full(m, -1, dtype=np.int64)
+
+    def dfs(t: int, caps: np.ndarray, value: float) -> None:
+        nonlocal best_value, best_assign, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError(
+                f"exact assignment exceeded {max_nodes} nodes; instance too large"
+            )
+        if value > best_value:
+            best_value = value
+            best_assign = cur.copy()
+        if t >= m:
+            return
+        if value + suffix_fractional(t, float(caps.sum())) <= best_value + 1e-12:
+            return
+        # assign branches (most room first), then reject
+        for j in np.argsort(-caps, kind="stable"):
+            if cov[t, j] and d[t] <= caps[j] * (1.0 + 1e-12):
+                caps[j] -= d[t]
+                cur[t] = j
+                dfs(t + 1, caps, value + p[t])
+                cur[t] = -1
+                caps[j] += d[t]
+        dfs(t + 1, caps, value)
+
+    dfs(0, caps0.copy(), 0.0)
+    assignment[order] = best_assign
+    return assignment
+
+
+def solve_exact_fixed_orientations(
+    instance: AngleInstance,
+    orientations: Sequence[float] | np.ndarray,
+    max_nodes: int = 2_000_000,
+    disabled: Optional[Sequence[int]] = None,
+) -> AngleSolution:
+    """Optimal assignment for frozen orientations by branch & bound.
+
+    The 1-D front end of :func:`exact_assignment`: builds the arc coverage
+    matrix, masks ``disabled`` antennas (used by the non-overlapping
+    enumeration to model switched-off beams), and runs the shared B&B.
+    """
+    ori = np.asarray(orientations, dtype=np.float64).reshape(-1)
+    cover = covered_matrix(instance, ori)
+    if disabled is not None:
+        for j in disabled:
+            cover[:, int(j)] = False
+    assignment = exact_assignment(
+        cover, instance.demands, instance.profits, instance.capacities, max_nodes
+    )
+    return AngleSolution(orientations=ori, assignment=assignment)
+
+
+def _orientation_candidates(
+    instance: AngleInstance, require_disjoint: bool
+) -> List[List[float]]:
+    """Candidate orientations per antenna, deduplicated by coverage."""
+    if require_disjoint:
+        grid = rotation_candidates(
+            instance.thetas, [a.rho for a in instance.antennas]
+        )
+    else:
+        grid = None
+    out: List[List[float]] = []
+    sweeps: dict = {}
+    for spec in instance.antennas:
+        if spec.rho not in sweeps:
+            sweeps[spec.rho] = CircularSweep(instance.thetas, spec.rho)
+        sweep = sweeps[spec.rho]
+        starts: List[float] = []
+        seen: set = set()
+        if grid is None:
+            ids = sweep.unique_window_ids()
+            windows = [sweep.window(int(i)) for i in ids]
+        else:
+            windows = [sweep.window_at(float(s)) for s in grid]
+        for w in windows:
+            key = (w.lo % max(sweep.n, 1), w.hi - w.lo) if grid is None else (
+                round(w.start, 12),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            starts.append(w.start)
+        if not starts:
+            starts.append(0.0)
+        out.append(starts)
+    return out
+
+
+def solve_exact_angle(
+    instance: AngleInstance,
+    require_disjoint: bool = False,
+    max_tuples: int = 500_000,
+    max_nodes_per_tuple: int = 500_000,
+) -> AngleSolution:
+    """Globally optimal solution by orientation enumeration + exact assignment.
+
+    ``require_disjoint=True`` solves the non-overlapping variant exactly
+    (enumerating over the enriched candidate grid and discarding
+    overlapping tuples).  Raises ``RuntimeError`` when the enumeration
+    exceeds ``max_tuples``.
+    """
+    n, k = instance.n, instance.k
+    if n == 0:
+        return AngleSolution.empty(instance)
+    cand = _orientation_candidates(instance, require_disjoint)
+    # In the disjoint variant an antenna may be switched OFF (idle beams do
+    # not radiate), represented by candidate ``None``.
+    if require_disjoint:
+        cand = [c + [None] for c in cand]
+
+    identical = instance.has_uniform_antennas
+    sizes = [len(c) for c in cand]
+    if identical:
+        total = 1
+        for t in range(k):
+            total = total * (sizes[0] + t) // (t + 1)  # C(s + k - 1, k)
+    else:
+        total = int(np.prod([float(s) for s in sizes]))
+    if total > max_tuples:
+        raise RuntimeError(
+            f"orientation enumeration needs {total} tuples > cap {max_tuples}"
+        )
+
+    if identical:
+        tuples = itertools.combinations_with_replacement(cand[0], k)
+    else:
+        tuples = itertools.product(*cand)
+
+    best: Optional[AngleSolution] = None
+    best_value = -1.0
+    # Cheap per-tuple bound pieces.
+    sweeps: dict = {}
+    for spec in instance.antennas:
+        if spec.rho not in sweeps:
+            sweeps[spec.rho] = CircularSweep(instance.thetas, spec.rho)
+
+    for tup in tuples:
+        off = [j for j, t in enumerate(tup) if t is None]
+        ori = np.asarray(
+            [0.0 if t is None else float(t) for t in tup], dtype=np.float64
+        )
+        active = [j for j in range(k) if j not in off]
+        arcs = [Arc(float(ori[j]), instance.antennas[j].rho) for j in active]
+        if require_disjoint and not arcs_pairwise_disjoint(arcs):
+            continue
+        # Cheap upper bound: per-antenna min(capacity * best density,
+        # covered profit), and globally the profit of the covered union.
+        union_mask = np.zeros(n, dtype=bool)
+        per_antenna = 0.0
+        for j in active:
+            w = sweeps[instance.antennas[j].rho].window_at(float(ori[j]))
+            covered = w.indices
+            union_mask[covered] = True
+            if covered.size:
+                dens = float(
+                    (instance.profits[covered] / instance.demands[covered]).max()
+                )
+                per_antenna += min(
+                    float(instance.profits[covered].sum()),
+                    dens * instance.antennas[j].capacity,
+                )
+        bound = min(per_antenna, float(instance.profits[union_mask].sum()))
+        if bound <= best_value + 1e-12:
+            continue
+        sol = solve_exact_fixed_orientations(
+            instance, ori, max_nodes=max_nodes_per_tuple, disabled=off or None
+        )
+        v = sol.value(instance)
+        if v > best_value:
+            best, best_value = sol, v
+    assert best is not None
+    return best

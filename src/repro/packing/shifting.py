@@ -1,0 +1,137 @@
+"""Shifted-cut scheme for the non-overlapping variant (identical antennas).
+
+:func:`~repro.packing.multi.solve_non_overlapping_dp` is exact for the
+variant but enumerates every candidate as the cyclic "first" window —
+``O(|S|^2 k)``.  The shifting scheme (Hochbaum–Maass style) trades a small,
+*quantified* loss for one linear DP per cut:
+
+1. pick ``t`` evenly spaced cut positions on the circle;
+2. for each cut, discard the canonical windows whose interior contains the
+   cut, and solve the remaining *linear* weighted-window scheduling by DP
+   (select up to ``k`` disjoint windows maximizing oracle profit);
+3. return the best cut's solution.
+
+**Loss bound.**  Fix the optimal disjoint solution ``W*``.  A cut position
+``c`` destroys at most the one window of ``W*`` containing it (disjoint
+windows!), so ``loss(c) <= v(w_c)``.  Each window of width ``rho`` contains
+at most ``floor(rho * t / 2*pi) + 1`` of the ``t`` positions, hence::
+
+    sum_c loss(c) <= OPT * (rho * t / (2*pi) + 1)
+    min_c loss(c) <= OPT * (rho / (2*pi) + 1 / t)
+
+so the best cut retains at least ``(1 - rho/(2*pi) - 1/t) * OPT`` — and the
+oracle contributes its own factor multiplicatively.  Experiment E10
+measures this loss against the exact DP as ``t`` grows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI, ccw_delta
+from repro.geometry.sweep import CircularSweep
+from repro.knapsack.api import KnapsackSolver
+from repro.model.instance import AngleInstance
+from repro.model.solution import AngleSolution
+
+
+def solve_shifting(
+    instance: AngleInstance,
+    oracle: KnapsackSolver,
+    t: int = 8,
+    boundary_fill: bool = True,
+) -> AngleSolution:
+    """Best-of-``t``-cuts disjoint packing; requires identical antennas.
+
+    Guarantee (vs. the non-overlapping optimum ``OPT_no``)::
+
+        value >= oracle.guarantee * (1 - rho/(2*pi) - 1/t) * OPT_no
+
+    Complexity: ``O(n)`` oracle calls once, plus ``t`` linear DPs of size
+    ``O(n k)``.
+    """
+    if t < 1:
+        raise ValueError(f"need at least one cut, got t={t}")
+    if not instance.has_uniform_antennas:
+        raise ValueError("shifting scheme requires identical antennas")
+    n, k = instance.n, instance.k
+    if n == 0:
+        return AngleSolution.empty(instance)
+    spec = instance.antennas[0]
+    rho = spec.rho
+
+    sweep = CircularSweep(instance.thetas, rho)
+    demand_sums = sweep.window_sums(instance.demands)
+    ids = sweep.unique_window_ids()
+    # Precompute oracle profit + selection per unique canonical window.
+    starts = np.empty(ids.size, dtype=np.float64)
+    values = np.empty(ids.size, dtype=np.float64)
+    picks: List[np.ndarray] = []
+    for a, wid in enumerate(ids):
+        w = sweep.window(int(wid))
+        cov = w.indices
+        starts[a] = w.start
+        if float(demand_sums[wid]) <= spec.capacity * (1.0 + 1e-12):
+            values[a] = float(instance.profits[cov].sum())
+            picks.append(cov.copy())
+        else:
+            res = oracle.solve(
+                instance.demands[cov], instance.profits[cov], spec.capacity
+            )
+            values[a] = res.value
+            picks.append(cov[res.selected])
+
+    best_value = -1.0
+    best_windows: List[int] = []
+    for s in range(t):
+        cut = s * TWO_PI / t
+        # Linearize window starts after the cut; keep windows that end
+        # before wrapping back past the cut.
+        offs = np.array([ccw_delta(cut, float(a)) for a in starts])
+        keep = offs + rho <= TWO_PI + 1e-12
+        if not keep.any():
+            continue
+        kept = np.flatnonzero(keep)
+        order = kept[np.argsort(offs[kept], kind="stable")]
+        lin = offs[order]
+        vals = values[order]
+        m = order.size
+        jump = np.searchsorted(lin, lin + rho - 1e-12, side="left")
+        # dp[c][i]: best profit from windows >= i using <= c windows.
+        dp = np.zeros((k + 1, m + 1), dtype=np.float64)
+        for c in range(1, k + 1):
+            for i in range(m - 1, -1, -1):
+                take = vals[i] + dp[c - 1, int(jump[i])] if vals[i] > 0 else -1.0
+                dp[c, i] = max(dp[c, i + 1], take)
+        total = float(dp[k, 0])
+        if total > best_value:
+            best_value = total
+            # Reconstruct.
+            chosen: List[int] = []
+            c, i = k, 0
+            while c > 0 and i < m:
+                take = vals[i] + dp[c - 1, int(jump[i])] if vals[i] > 0 else -1.0
+                if take >= dp[c, i + 1] and take == dp[c, i]:
+                    chosen.append(int(order[i]))
+                    i = int(jump[i])
+                    c -= 1
+                else:
+                    i += 1
+            best_windows = chosen
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    orientations = np.zeros(k, dtype=np.float64)
+    taken = np.zeros(n, dtype=bool)
+    for j, a in enumerate(best_windows):
+        sel = picks[a]
+        fresh = sel[~taken[sel]]
+        assignment[fresh] = j
+        taken[fresh] = True
+        orientations[j] = starts[a]
+    if boundary_fill:
+        from repro.packing.local_search import fill_active_antennas
+
+        fill_active_antennas(instance, orientations, assignment)
+    return AngleSolution(orientations=orientations, assignment=assignment)

@@ -1,0 +1,5 @@
+"""Process-level parallelism for sweeps and experiment fan-out."""
+
+from repro.parallel.pool import parallel_map, scatter_gather, worker_count
+
+__all__ = ["parallel_map", "scatter_gather", "worker_count"]

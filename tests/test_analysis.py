@@ -1,0 +1,124 @@
+"""Tests for metrics, tables, and the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import SolverSpec, compare_solvers, ratio_study, report
+from repro.analysis.metrics import (
+    RunRecord,
+    approximation_ratio,
+    geometric_mean,
+    summarize,
+    timed,
+)
+from repro.analysis.tables import format_markdown, format_table
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing import solve_exact_angle, solve_greedy_multi
+
+
+class TestMetrics:
+    def test_ratio_normal(self):
+        assert approximation_ratio(1.0, 2.0) == 0.5
+
+    def test_ratio_zero_reference(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+        assert approximation_ratio(1.0, 0.0) == math.inf
+
+    def test_run_record_ratio(self):
+        r = RunRecord("s", "f", value=3.0, seconds=0.1, reference=4.0)
+        assert r.ratio == 0.75
+        assert RunRecord("s", "f", 1.0, 0.1).ratio is None
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_timed(self):
+        with timed() as t:
+            sum(range(100))
+        assert t["seconds"] >= 0
+
+    def test_summarize(self):
+        recs = [
+            RunRecord("a", "f", 2.0, 0.1, reference=4.0),
+            RunRecord("a", "g", 3.0, 0.3, reference=3.0),
+            RunRecord("b", "f", 1.0, 0.2),
+        ]
+        agg = summarize(recs)
+        assert agg["a"]["runs"] == 2
+        assert agg["a"]["min_ratio"] == 0.5
+        assert agg["a"]["geo_mean_ratio"] == pytest.approx(math.sqrt(0.5))
+        assert "min_ratio" not in agg["b"]
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["x", 1.5], ["longer", 2.25]], ".2f")
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.50" in out and "2.25" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_markdown(self):
+        out = format_markdown(["a", "b"], [[1, 2.0]], ".1f")
+        assert out.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2.0 |" in out
+
+    def test_bool_formatting(self):
+        out = format_table(["x"], [[True]])
+        assert "True" in out
+
+
+class TestHarness:
+    def setup_method(self):
+        self.exact = get_solver("exact")
+        self.greedy = get_solver("greedy")
+        self.instances = {
+            "uniform": [gen.uniform_angles(n=8, k=2, seed=s) for s in range(2)],
+        }
+        self.solvers = [
+            SolverSpec(
+                "greedy",
+                lambda i: solve_greedy_multi(i, self.exact).value(i),
+                guarantee=0.5,
+            ),
+            SolverSpec("exact", lambda i: solve_exact_angle(i).value(i), guarantee=1.0),
+        ]
+        self.reference = lambda i: solve_exact_angle(i).value(i)
+
+    def test_compare_runs_everything(self):
+        recs = compare_solvers(self.instances, self.solvers)
+        assert len(recs) == 4
+        assert all(r.reference is None for r in recs)
+
+    def test_compare_with_reference(self):
+        recs = compare_solvers(self.instances, self.solvers, self.reference)
+        assert all(r.reference is not None for r in recs)
+        exact_recs = [r for r in recs if r.solver == "exact"]
+        assert all(r.ratio == pytest.approx(1.0) for r in exact_recs)
+
+    def test_ratio_study_enforces_guarantees(self):
+        recs = ratio_study(self.instances, self.solvers, self.reference)
+        assert recs
+
+    def test_ratio_study_catches_violations(self):
+        bad = [SolverSpec("zero", lambda i: 0.0, guarantee=0.9)]
+        with pytest.raises(AssertionError):
+            ratio_study(self.instances, bad, self.reference)
+
+    def test_report_renders(self):
+        recs = compare_solvers(self.instances, self.solvers, self.reference)
+        out = report(recs, title="unit")
+        assert "greedy" in out and "exact" in out and "unit" in out

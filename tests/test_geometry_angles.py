@@ -1,0 +1,158 @@
+"""Unit + property tests for repro.geometry.angles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angles_in_window,
+    angular_distance,
+    angular_distances,
+    ccw_delta,
+    ccw_deltas,
+    circular_sorted,
+    normalize_angle,
+    normalize_angles,
+)
+
+finite_angles = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestNormalizeAngle:
+    def test_zero(self):
+        assert normalize_angle(0.0) == 0.0
+
+    def test_full_turn_wraps_to_zero(self):
+        assert normalize_angle(TWO_PI) == 0.0
+
+    def test_negative(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_many_turns(self):
+        assert normalize_angle(5 * TWO_PI + 1.0) == pytest.approx(1.0)
+
+    def test_just_below_two_pi_snaps(self):
+        assert normalize_angle(TWO_PI - 1e-15) == 0.0
+
+    @given(finite_angles)
+    def test_range_invariant(self, theta):
+        out = normalize_angle(theta)
+        assert 0.0 <= out < TWO_PI
+
+    @given(finite_angles)
+    def test_idempotent(self, theta):
+        once = normalize_angle(theta)
+        assert normalize_angle(once) == pytest.approx(once, abs=1e-12)
+
+    @given(finite_angles)
+    def test_agrees_with_vectorized(self, theta):
+        assert normalize_angles([theta])[0] == pytest.approx(
+            normalize_angle(theta), abs=1e-12
+        )
+
+
+class TestNormalizeAngles:
+    def test_array_shape_preserved(self):
+        arr = np.array([[0.0, -1.0], [7.0, 13.0]])
+        out = normalize_angles(arr)
+        assert out.shape == arr.shape
+
+    def test_empty(self):
+        assert normalize_angles([]).shape == (0,)
+
+    def test_values(self):
+        out = normalize_angles([-math.pi, 3 * math.pi])
+        assert out == pytest.approx([math.pi, math.pi])
+
+
+class TestCcwDelta:
+    def test_same_angle_is_zero(self):
+        assert ccw_delta(1.3, 1.3) == 0.0
+
+    def test_quarter_turn(self):
+        assert ccw_delta(0.0, math.pi / 2) == pytest.approx(math.pi / 2)
+
+    def test_backwards_goes_long_way(self):
+        assert ccw_delta(math.pi / 2, 0.0) == pytest.approx(3 * math.pi / 2)
+
+    @given(finite_angles, finite_angles)
+    def test_range(self, a, b):
+        assert 0.0 <= ccw_delta(a, b) < TWO_PI
+
+    @given(finite_angles, finite_angles)
+    def test_forward_plus_backward_is_full_turn(self, a, b):
+        fwd = ccw_delta(a, b)
+        bwd = ccw_delta(b, a)
+        if fwd != 0.0 and bwd != 0.0:
+            assert fwd + bwd == pytest.approx(TWO_PI, abs=1e-9)
+
+    def test_vectorized_matches_scalar(self):
+        targets = np.linspace(-10, 10, 37)
+        vec = ccw_deltas(0.7, targets)
+        for t, v in zip(targets, vec):
+            assert v == pytest.approx(ccw_delta(0.7, t), abs=1e-12)
+
+
+class TestAngularDistance:
+    def test_symmetric_near_wrap(self):
+        assert angular_distance(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    @given(finite_angles, finite_angles)
+    def test_symmetry(self, a, b):
+        assert angular_distance(a, b) == pytest.approx(angular_distance(b, a), abs=1e-9)
+
+    @given(finite_angles, finite_angles)
+    def test_range(self, a, b):
+        d = angular_distance(a, b)
+        assert 0.0 <= d <= math.pi + 1e-12
+
+    @given(finite_angles, finite_angles, finite_angles)
+    def test_triangle_inequality(self, a, b, c):
+        assert angular_distance(a, c) <= (
+            angular_distance(a, b) + angular_distance(b, c) + 1e-9
+        )
+
+    def test_vectorized_matches_scalar(self):
+        bs = np.linspace(0, TWO_PI, 17, endpoint=False)
+        vec = angular_distances(1.0, bs)
+        for b, v in zip(bs, vec):
+            assert v == pytest.approx(angular_distance(1.0, b), abs=1e-12)
+
+
+class TestAnglesInWindow:
+    def test_simple_window(self):
+        thetas = np.array([0.0, 0.5, 1.0, 2.0])
+        mask = angles_in_window(thetas, 0.25, 1.0)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_wrap_around_window(self):
+        thetas = np.array([0.1, 3.0, TWO_PI - 0.1])
+        mask = angles_in_window(thetas, TWO_PI - 0.5, 1.0)
+        assert mask.tolist() == [True, False, True]
+
+    def test_closed_endpoints(self):
+        thetas = np.array([1.0, 2.0])
+        mask = angles_in_window(thetas, 1.0, 1.0)
+        assert mask.tolist() == [True, True]
+
+    def test_full_circle_covers_everything(self):
+        thetas = np.linspace(0, TWO_PI, 50, endpoint=False)
+        assert angles_in_window(thetas, 3.3, TWO_PI).all()
+
+    def test_zero_width_covers_only_start(self):
+        thetas = np.array([1.0, 1.0 + 1e-6])
+        mask = angles_in_window(thetas, 1.0, 0.0)
+        assert mask.tolist() == [True, False]
+
+
+class TestCircularSorted:
+    def test_sorts_normalized(self):
+        thetas = np.array([-0.1, 0.2, 6.0])
+        order = circular_sorted(thetas)
+        sorted_vals = normalize_angles(thetas)[order]
+        assert (np.diff(sorted_vals) >= 0).all()

@@ -1,0 +1,219 @@
+"""Unit + property tests for repro.geometry.arcs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.geometry.arcs import Arc, arcs_pairwise_disjoint, union_measure
+
+angles = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+widths = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+
+
+class TestArcBasics:
+    def test_normalizes_start(self):
+        a = Arc(-math.pi / 2, 1.0)
+        assert a.start == pytest.approx(3 * math.pi / 2)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            Arc(0.0, -0.1)
+
+    def test_rejects_over_full_width(self):
+        with pytest.raises(ValueError):
+            Arc(0.0, TWO_PI + 0.1)
+
+    def test_end_wraps(self):
+        a = Arc(TWO_PI - 0.5, 1.0)
+        assert a.end == pytest.approx(0.5)
+
+    def test_full_circle_flag(self):
+        assert Arc(1.0, TWO_PI).is_full_circle
+        assert not Arc(1.0, TWO_PI - 0.01).is_full_circle
+
+
+class TestContains:
+    def test_interior(self):
+        assert Arc(0.0, 1.0).contains(0.5)
+
+    def test_closed_both_ends(self):
+        a = Arc(1.0, 1.0)
+        assert a.contains(1.0)
+        assert a.contains(2.0)
+
+    def test_outside(self):
+        assert not Arc(0.0, 1.0).contains(1.5)
+
+    def test_wraparound(self):
+        a = Arc(TWO_PI - 0.5, 1.0)
+        assert a.contains(0.2)
+        assert a.contains(TWO_PI - 0.2)
+        assert not a.contains(math.pi)
+
+    @given(angles, widths, angles)
+    def test_scalar_matches_vectorized(self, start, width, theta):
+        a = Arc(start, width)
+        assert a.contains(theta) == bool(a.contains_angles(np.array([theta]))[0])
+
+    @given(angles, widths)
+    def test_contains_own_endpoints(self, start, width):
+        a = Arc(start, width)
+        assert a.contains(a.start)
+        assert a.contains(a.end)
+
+    @given(angles, widths, st.floats(min_value=0.0, max_value=1.0))
+    def test_contains_all_interior_points(self, start, width, frac):
+        a = Arc(start, width)
+        assert a.contains(a.start + frac * a.width)
+
+
+class TestContainsArc:
+    def test_sub_arc(self):
+        assert Arc(0.0, 2.0).contains_arc(Arc(0.5, 1.0))
+
+    def test_not_contained_when_longer(self):
+        assert not Arc(0.0, 1.0).contains_arc(Arc(0.5, 1.0))
+
+    def test_full_circle_contains_everything(self):
+        assert Arc(0.0, TWO_PI).contains_arc(Arc(3.0, 2.0))
+
+    @given(angles, widths, angles, widths)
+    def test_containment_implies_point_containment(self, s1, w1, s2, w2):
+        a, b = Arc(s1, w1), Arc(s2, w2)
+        if a.contains_arc(b):
+            for f in (0.0, 0.3, 0.7, 1.0):
+                assert a.contains(b.start + f * b.width)
+
+
+class TestIntersects:
+    def test_disjoint(self):
+        assert not Arc(0.0, 1.0).intersects(Arc(2.0, 1.0))
+
+    def test_touching_endpoints_intersect(self):
+        assert Arc(0.0, 1.0).intersects(Arc(1.0, 1.0))
+
+    def test_touching_endpoints_do_not_overlap_interior(self):
+        assert not Arc(0.0, 1.0).overlaps_interior(Arc(1.0, 1.0))
+
+    def test_proper_overlap(self):
+        assert Arc(0.0, 1.0).overlaps_interior(Arc(0.5, 1.0))
+
+    def test_wraparound_overlap(self):
+        assert Arc(TWO_PI - 0.5, 1.0).overlaps_interior(Arc(0.2, 0.5))
+
+    def test_zero_width_never_overlaps_interior(self):
+        assert not Arc(0.5, 0.0).overlaps_interior(Arc(0.0, 1.0))
+
+    @given(angles, widths, angles, widths)
+    def test_symmetry(self, s1, w1, s2, w2):
+        a, b = Arc(s1, w1), Arc(s2, w2)
+        assert a.intersects(b) == b.intersects(a)
+        assert a.overlaps_interior(b) == b.overlaps_interior(a)
+
+    @given(angles, widths, angles, widths)
+    def test_interior_overlap_implies_intersection(self, s1, w1, s2, w2):
+        a, b = Arc(s1, w1), Arc(s2, w2)
+        if a.overlaps_interior(b):
+            assert a.intersects(b)
+
+
+class TestIntersectionMeasure:
+    def test_disjoint_is_zero(self):
+        assert Arc(0.0, 1.0).intersection_measure(Arc(2.0, 1.0)) == 0.0
+
+    def test_nested(self):
+        assert Arc(0.0, 2.0).intersection_measure(Arc(0.5, 1.0)) == pytest.approx(1.0)
+
+    def test_partial(self):
+        assert Arc(0.0, 1.0).intersection_measure(Arc(0.5, 1.0)) == pytest.approx(0.5)
+
+    def test_two_component_intersection(self):
+        # Two wide arcs whose union is the whole circle overlap at both ends.
+        a = Arc(0.0, 4.0)
+        b = Arc(3.5, 3.5)
+        # components: [3.5, 4.0] (len .5) and [0, 3.5+3.5-2*pi] wrap part
+        expected = 0.5 + (7.0 - TWO_PI)
+        assert a.intersection_measure(b) == pytest.approx(expected, abs=1e-9)
+
+    @given(angles, widths, angles, widths)
+    def test_bounded_by_min_width(self, s1, w1, s2, w2):
+        a, b = Arc(s1, w1), Arc(s2, w2)
+        m = a.intersection_measure(b)
+        assert -1e-9 <= m <= min(w1, w2) + 1e-9
+
+    @given(angles, widths, angles, widths)
+    def test_symmetric(self, s1, w1, s2, w2):
+        a, b = Arc(s1, w1), Arc(s2, w2)
+        assert a.intersection_measure(b) == pytest.approx(
+            b.intersection_measure(a), abs=1e-9
+        )
+
+    @given(angles, widths)
+    def test_self_intersection_is_width(self, s, w):
+        a = Arc(s, w)
+        assert a.intersection_measure(a) == pytest.approx(w, abs=1e-9)
+
+
+class TestRotatedAndSample:
+    def test_rotation_preserves_width(self):
+        a = Arc(1.0, 2.0).rotated(0.7)
+        assert a.width == 2.0
+        assert a.start == pytest.approx(1.7)
+
+    @given(angles, widths, st.integers(min_value=1, max_value=20))
+    def test_samples_are_contained(self, s, w, k):
+        a = Arc(s, w)
+        for t in a.sample_angles(k):
+            assert a.contains(float(t))
+
+    def test_sample_zero(self):
+        assert Arc(0.0, 1.0).sample_angles(0).size == 0
+
+
+class TestPairwiseDisjoint:
+    def test_empty_and_single(self):
+        assert arcs_pairwise_disjoint([])
+        assert arcs_pairwise_disjoint([Arc(0.0, 3.0)])
+
+    def test_disjoint_family(self):
+        arcs = [Arc(0.0, 1.0), Arc(1.0, 1.0), Arc(2.5, 1.0)]
+        assert arcs_pairwise_disjoint(arcs)
+
+    def test_overlapping_family(self):
+        arcs = [Arc(0.0, 1.0), Arc(0.9, 1.0)]
+        assert not arcs_pairwise_disjoint(arcs)
+
+
+class TestUnionMeasure:
+    def test_empty(self):
+        assert union_measure([]) == 0.0
+
+    def test_single(self):
+        assert union_measure([Arc(1.0, 2.0)]) == pytest.approx(2.0)
+
+    def test_disjoint_adds(self):
+        assert union_measure([Arc(0.0, 1.0), Arc(2.0, 1.0)]) == pytest.approx(2.0)
+
+    def test_overlapping_merges(self):
+        assert union_measure([Arc(0.0, 1.0), Arc(0.5, 1.0)]) == pytest.approx(1.5)
+
+    def test_wrap_merge(self):
+        assert union_measure([Arc(TWO_PI - 0.5, 1.0), Arc(0.4, 0.5)]) == pytest.approx(
+            1.4, abs=1e-9
+        )
+
+    def test_full_circle_caps(self):
+        arcs = [Arc(0.0, TWO_PI), Arc(1.0, 1.0)]
+        assert union_measure(arcs) == pytest.approx(TWO_PI)
+
+    @given(st.lists(st.tuples(angles, widths), max_size=6))
+    def test_bounds(self, parts):
+        arcs = [Arc(s, w) for s, w in parts]
+        m = union_measure(arcs)
+        assert -1e-9 <= m <= TWO_PI + 1e-9
+        if arcs:
+            assert m >= max(a.width for a in arcs) - 1e-9
+            assert m <= sum(a.width for a in arcs) + 1e-9

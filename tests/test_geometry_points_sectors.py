@@ -1,0 +1,159 @@
+"""Tests for repro.geometry.points and repro.geometry.sectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.geometry.arcs import Arc
+from repro.geometry.points import (
+    cartesian_to_polar,
+    cartesians_to_polar,
+    pairwise_distances,
+    polar_to_cartesian,
+    polars_to_cartesian,
+    relative_polar,
+)
+from repro.geometry.sectors import Sector
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+radii = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+angles = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+
+
+class TestPolarConversion:
+    def test_east(self):
+        assert polar_to_cartesian(0.0, 2.0) == pytest.approx((2.0, 0.0))
+
+    def test_north(self):
+        x, y = polar_to_cartesian(math.pi / 2, 3.0)
+        assert (x, y) == pytest.approx((0.0, 3.0), abs=1e-12)
+
+    def test_origin_round_trip(self):
+        assert cartesian_to_polar(0.0, 0.0) == (0.0, 0.0)
+
+    @given(angles, radii)
+    def test_round_trip(self, theta, r):
+        x, y = polar_to_cartesian(theta, r)
+        t2, r2 = cartesian_to_polar(x, y)
+        assert r2 == pytest.approx(r, rel=1e-9)
+        # angles equal mod 2*pi
+        assert math.cos(t2 - theta) == pytest.approx(1.0, abs=1e-9)
+
+    def test_vectorized_matches_scalar(self):
+        thetas = np.linspace(0, TWO_PI, 13, endpoint=False)
+        rs = np.linspace(0.5, 5.0, 13)
+        pts = polars_to_cartesian(thetas, rs)
+        t2, r2 = cartesians_to_polar(pts)
+        assert np.allclose(r2, rs)
+        assert np.allclose(np.cos(t2 - thetas), 1.0)
+
+    def test_cartesians_to_polar_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            cartesians_to_polar(np.zeros((3, 3)))
+
+    def test_origin_angle_is_zero(self):
+        t, r = cartesians_to_polar(np.array([[0.0, 0.0]]))
+        assert t[0] == 0.0 and r[0] == 0.0
+
+
+class TestRelativePolar:
+    def test_translation(self):
+        pts = np.array([[2.0, 1.0]])
+        t, r = relative_polar(pts, np.array([1.0, 1.0]))
+        assert t[0] == pytest.approx(0.0)
+        assert r[0] == pytest.approx(1.0)
+
+    @given(coords, coords, coords, coords)
+    def test_distance_matches_hypot(self, px, py, ox, oy):
+        t, r = relative_polar(np.array([[px, py]]), np.array([ox, oy]))
+        assert r[0] == pytest.approx(math.hypot(px - ox, py - oy), abs=1e-9)
+
+
+class TestPairwiseDistances:
+    def test_shape(self):
+        d = pairwise_distances(np.zeros((4, 2)), np.zeros((3, 2)))
+        assert d.shape == (4, 3)
+
+    def test_values(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        ctr = np.array([[0.0, 0.0]])
+        d = pairwise_distances(pts, ctr)
+        assert d[:, 0] == pytest.approx([0.0, 5.0])
+
+
+class TestSector:
+    def test_from_parameters(self):
+        s = Sector.from_parameters((0.0, 0.0), alpha=0.5, rho=1.0, radius=2.0)
+        assert s.alpha == pytest.approx(0.5)
+        assert s.rho == pytest.approx(1.0)
+        assert s.radius == 2.0
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            Sector((0, 0), Arc(0.0, 1.0), 0.0)
+
+    def test_contains_interior_point(self):
+        s = Sector.from_parameters((0, 0), 0.0, math.pi / 2, 10.0)
+        assert s.contains_point(1.0, 1.0)
+
+    def test_excludes_wrong_angle(self):
+        s = Sector.from_parameters((0, 0), 0.0, math.pi / 2, 10.0)
+        assert not s.contains_point(-1.0, 1.0)
+
+    def test_excludes_beyond_radius(self):
+        s = Sector.from_parameters((0, 0), 0.0, math.pi / 2, 1.0)
+        assert not s.contains_point(1.0, 1.0)  # distance sqrt(2) > 1
+
+    def test_apex_always_inside(self):
+        s = Sector.from_parameters((5.0, -2.0), 1.0, 0.1, 1.0)
+        assert s.contains_point(5.0, -2.0)
+
+    def test_boundary_radius_inside(self):
+        s = Sector.from_parameters((0, 0), 0.0, 1.0, 2.0)
+        assert s.contains_point(2.0, 0.0)
+
+    def test_translated_apex(self):
+        s = Sector.from_parameters((10.0, 10.0), 0.0, math.pi / 2, 5.0)
+        assert s.contains_point(12.0, 12.0)
+        assert not s.contains_point(8.0, 10.0)
+
+    @given(coords, coords, angles, st.floats(min_value=0.0, max_value=TWO_PI), radii, coords, coords)
+    def test_scalar_matches_vectorized(self, ax, ay, alpha, rho, R, px, py):
+        s = Sector.from_parameters((ax, ay), alpha, rho, R)
+        scalar = s.contains_point(px, py)
+        vec = bool(s.contains_points(np.array([[px, py]]))[0])
+        assert scalar == vec
+
+    def test_vectorized_batch(self):
+        s = Sector.from_parameters((0, 0), 0.0, math.pi / 2, 2.0)
+        pts = np.array([[1.0, 0.5], [0.0, -1.0], [3.0, 0.0], [0.0, 0.0]])
+        mask = s.contains_points(pts)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_area(self):
+        s = Sector.from_parameters((0, 0), 0.0, math.pi, 2.0)
+        assert s.area == pytest.approx(math.pi / 2 * 4.0 / 1.0 * 1.0)
+
+    def test_full_circle_area(self):
+        s = Sector.from_parameters((0, 0), 0.0, TWO_PI, 1.0)
+        assert s.area == pytest.approx(math.pi)
+
+    def test_boundary_polygon_shapes(self):
+        s = Sector.from_parameters((0, 0), 0.0, 1.0, 1.0)
+        poly = s.boundary_polygon(16)
+        assert poly.shape[1] == 2
+        assert poly.shape[0] >= 3
+        full = Sector.from_parameters((0, 0), 0.0, TWO_PI, 1.0)
+        assert full.boundary_polygon(16).shape[0] >= 8
+
+    def test_polygon_area_approximates_sector_area(self):
+        s = Sector.from_parameters((1.0, 2.0), 0.3, 1.2, 3.0)
+        poly = s.boundary_polygon(512)
+        x, y = poly[:, 0], poly[:, 1]
+        shoelace = 0.5 * abs(
+            np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))
+        )
+        assert shoelace == pytest.approx(s.area, rel=1e-3)

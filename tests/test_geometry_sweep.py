@@ -1,0 +1,194 @@
+"""Tests for the circular sweep (repro.geometry.sweep).
+
+The sweep is the backbone of every solver, so it is tested against a
+brute-force reference implementation on random inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI, angles_in_window
+from repro.geometry.sweep import CircularSweep
+
+angle_lists = st.lists(
+    st.floats(min_value=0.0, max_value=TWO_PI - 1e-9, allow_nan=False),
+    min_size=0,
+    max_size=40,
+)
+widths = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+
+
+def brute_force_covered(thetas, start, width):
+    """Reference: original indices covered by [start, start+width]."""
+    mask = angles_in_window(np.asarray(thetas), start, width)
+    return set(np.flatnonzero(mask).tolist())
+
+
+class TestSweepConstruction:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CircularSweep([0.0], -0.1)
+        with pytest.raises(ValueError):
+            CircularSweep([0.0], TWO_PI + 0.1)
+
+    def test_empty_instance(self):
+        sw = CircularSweep([], 1.0)
+        assert sw.n == 0
+        assert list(sw.windows()) == []
+        assert sw.counts().size == 0
+
+    def test_window_index_bounds(self):
+        sw = CircularSweep([0.0, 1.0], 0.5)
+        with pytest.raises(IndexError):
+            sw.window(2)
+        with pytest.raises(IndexError):
+            sw.window(-1)
+
+
+class TestWindowCoverage:
+    def test_simple(self):
+        thetas = [0.0, 0.5, 1.0, 3.0]
+        sw = CircularSweep(thetas, 1.0)
+        w = sw.window(0)  # starts at angle 0.0
+        assert set(w.indices.tolist()) == {0, 1, 2}
+
+    def test_wraparound_window(self):
+        thetas = [0.1, 3.0, TWO_PI - 0.2]
+        sw = CircularSweep(thetas, 0.5)
+        # window starting at the largest angle wraps and grabs 0.1
+        w = sw.window(2)
+        assert set(w.indices.tolist()) == {2, 0}
+
+    def test_full_circle_covers_all(self):
+        thetas = np.linspace(0, TWO_PI, 10, endpoint=False)
+        sw = CircularSweep(thetas, TWO_PI)
+        for w in sw.windows():
+            assert w.count == 10
+
+    def test_zero_width_covers_only_duplicates(self):
+        thetas = [1.0, 1.0, 2.0]
+        sw = CircularSweep(thetas, 0.0)
+        w = sw.window(0)
+        assert set(w.indices.tolist()) == {0, 1}
+
+    @settings(max_examples=200)
+    @given(angle_lists, widths)
+    def test_matches_brute_force(self, thetas, width):
+        sw = CircularSweep(thetas, width)
+        for w in sw.windows():
+            got = set(w.indices.tolist())
+            expected = brute_force_covered(thetas, w.start, width)
+            assert got == expected
+
+    @given(angle_lists, widths)
+    def test_counts_match_windows(self, thetas, width):
+        sw = CircularSweep(thetas, width)
+        counts = sw.counts()
+        for k, w in enumerate(sw.windows()):
+            assert counts[k] == w.count
+
+    @given(angle_lists, widths)
+    def test_covers_original_agrees_with_indices(self, thetas, width):
+        sw = CircularSweep(thetas, width)
+        for w in sw.windows():
+            members = set(w.indices.tolist())
+            for i in range(sw.n):
+                assert w.covers_original(i) == (i in members)
+
+
+class TestWindowSums:
+    def test_shape_validation(self):
+        sw = CircularSweep([0.0, 1.0], 0.5)
+        with pytest.raises(ValueError):
+            sw.window_sums(np.ones(3))
+
+    @settings(max_examples=150)
+    @given(angle_lists, widths, st.randoms(use_true_random=False))
+    def test_matches_explicit_sum(self, thetas, width, rnd):
+        values = np.array([rnd.uniform(0, 10) for _ in thetas])
+        sw = CircularSweep(thetas, width)
+        sums = sw.window_sums(values)
+        for k, w in enumerate(sw.windows()):
+            assert sums[k] == pytest.approx(values[w.indices].sum(), abs=1e-9)
+
+    def test_best_window(self):
+        thetas = [0.0, 0.1, 3.0]
+        values = np.array([1.0, 2.0, 10.0])
+        sw = CircularSweep(thetas, 0.5)
+        k, v = sw.best_window_by_sum(values)
+        assert v == pytest.approx(10.0)
+        assert sw.window(k).covers_original(2)
+
+    def test_best_window_empty_raises(self):
+        sw = CircularSweep([], 0.5)
+        with pytest.raises(ValueError):
+            sw.best_window_by_sum(np.empty(0))
+
+
+class TestUniqueWindows:
+    def test_duplicates_removed(self):
+        thetas = [1.0, 1.0, 2.0]
+        sw = CircularSweep(thetas, 0.5)
+        ids = sw.unique_window_ids()
+        assert len(ids) == 2
+
+    def test_no_duplicates_keeps_all(self):
+        sw = CircularSweep([0.0, 1.0, 2.0], 0.5)
+        assert len(sw.unique_window_ids()) == 3
+
+    @given(angle_lists, widths)
+    def test_unique_ids_cover_all_distinct_coverages(self, thetas, width):
+        sw = CircularSweep(thetas, width)
+        all_cov = {frozenset(w.indices.tolist()) for w in sw.windows()}
+        uniq_cov = {
+            frozenset(sw.window(int(k)).indices.tolist())
+            for k in sw.unique_window_ids()
+        }
+        assert uniq_cov == all_cov
+
+
+class TestWindowAt:
+    """Direct tests for arbitrary-start windows (closed and half-open)."""
+
+    @settings(max_examples=150)
+    @given(
+        angle_lists,
+        widths,
+        st.floats(min_value=0.0, max_value=TWO_PI - 1e-9),
+    )
+    def test_closed_matches_brute_force(self, thetas, width, start):
+        sw = CircularSweep(thetas, width)
+        w = sw.window_at(start)
+        got = set(w.indices.tolist())
+        expected = brute_force_covered(thetas, start, width)
+        assert got == expected
+
+    @settings(max_examples=100)
+    @given(
+        angle_lists,
+        st.floats(min_value=0.01, max_value=TWO_PI - 1e-6),
+        st.floats(min_value=0.0, max_value=TWO_PI - 1e-9),
+    )
+    def test_half_open_subset_of_closed(self, thetas, width, start):
+        sw = CircularSweep(thetas, width)
+        closed = set(sw.window_at(start).indices.tolist())
+        half = set(sw.window_at(start, closed_end=False).indices.tolist())
+        assert half <= closed
+
+    def test_half_open_excludes_exact_end(self):
+        sw = CircularSweep([0.0, 1.0], 1.0)
+        closed = sw.window_at(0.0)
+        half = sw.window_at(0.0, closed_end=False)
+        assert set(closed.indices.tolist()) == {0, 1}
+        assert set(half.indices.tolist()) == {0}
+
+    def test_empty_sweep(self):
+        sw = CircularSweep([], 1.0)
+        w = sw.window_at(0.5)
+        assert w.count == 0
+
+    def test_start_beyond_all_angles_wraps(self):
+        sw = CircularSweep([0.1], 0.5)
+        w = sw.window_at(TWO_PI - 0.2)
+        assert set(w.indices.tolist()) == {0}

@@ -1,0 +1,173 @@
+"""Tests for instance generators and JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.model import generators as gen
+from repro.model.instance import AngleInstance, SectorInstance
+from repro.model.serialization import (
+    angle_instance_from_dict,
+    angle_instance_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_solution,
+    save_instance,
+    save_solution,
+    sector_instance_from_dict,
+    sector_instance_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.model.solution import AngleSolution, SectorSolution
+
+
+class TestAngleGenerators:
+    @pytest.mark.parametrize("name,fn", sorted(gen.ANGLE_FAMILIES.items()))
+    def test_family_produces_valid_instance(self, name, fn):
+        inst = fn(seed=7)
+        assert isinstance(inst, AngleInstance)
+        assert inst.n > 0
+        assert (inst.demands > 0).all()
+        assert (inst.thetas >= 0).all() and (inst.thetas < TWO_PI).all()
+
+    @pytest.mark.parametrize("name,fn", sorted(gen.ANGLE_FAMILIES.items()))
+    def test_family_deterministic(self, name, fn):
+        a, b = fn(seed=3), fn(seed=3)
+        assert a == b
+
+    @pytest.mark.parametrize("name,fn", sorted(gen.ANGLE_FAMILIES.items()))
+    def test_family_seed_sensitive(self, name, fn):
+        a, b = fn(seed=3), fn(seed=4)
+        assert a != b
+
+    def test_uniform_capacity_fraction(self):
+        inst = gen.uniform_angles(n=50, k=2, capacity_fraction=0.2, seed=0)
+        cap = inst.antennas[0].capacity
+        assert cap == pytest.approx(0.2 * inst.total_demand) or cap >= inst.demands.min()
+
+    def test_adversarial_structure(self):
+        inst = gen.adversarial_greedy_angles(blocks=3, eps=0.05, seed=1)
+        assert inst.n == 9
+        assert inst.antennas[0].capacity == 2.0
+        # each block has one 1+eps and two 1.0 demands
+        assert np.isclose(np.sort(inst.demands)[-3:], 1.05).all()
+
+    def test_adversarial_rejects_wide_rho(self):
+        with pytest.raises(ValueError):
+            gen.adversarial_greedy_angles(blocks=8, rho=2.0)
+
+    def test_adversarial_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            gen.adversarial_greedy_angles(blocks=0)
+
+    def test_subset_sum_integer_demands(self):
+        inst = gen.subset_sum_angles(n=20, seed=2)
+        assert np.allclose(inst.demands, np.round(inst.demands))
+
+    def test_mixed_antennas_validation(self):
+        with pytest.raises(ValueError):
+            gen.mixed_antenna_angles(widths=(1.0,), capacity_fractions=(0.1, 0.2))
+
+    def test_demand_distributions(self):
+        for dist in ("uniform", "exponential", "integer", "constant"):
+            inst = gen.uniform_angles(n=10, demand_dist=dist, seed=0)
+            assert (inst.demands > 0).all()
+        with pytest.raises(ValueError):
+            gen.uniform_angles(n=10, demand_dist="bogus", seed=0)
+
+    def test_rng_object_accepted(self):
+        rng = np.random.default_rng(5)
+        inst = gen.uniform_angles(n=10, seed=rng)
+        assert inst.n == 10
+
+
+class TestSectorGenerators:
+    @pytest.mark.parametrize("name,fn", sorted(gen.SECTOR_FAMILIES.items()))
+    def test_family_produces_valid_instance(self, name, fn):
+        inst = fn(seed=7)
+        assert isinstance(inst, SectorInstance)
+        assert inst.n > 0
+        assert inst.m >= 1
+
+    @pytest.mark.parametrize("name,fn", sorted(gen.SECTOR_FAMILIES.items()))
+    def test_family_deterministic(self, name, fn):
+        assert fn(seed=3) == fn(seed=3)
+
+    def test_disk_occupancy_filters(self):
+        inst = gen.uniform_disk(n=200, radius=5.0, occupancy=1.5, seed=0)
+        mask = inst.reachable_mask(0)
+        assert 0 < mask.sum() < 200
+
+    def test_grid_station_count(self):
+        inst = gen.grid_city(grid=2, seed=0)
+        assert inst.m == 4
+        assert inst.total_antennas == 12
+
+
+class TestSerialization:
+    def test_angle_round_trip(self):
+        inst = gen.clustered_angles(n=20, seed=1)
+        d = angle_instance_to_dict(inst)
+        back = angle_instance_from_dict(d)
+        assert back == inst
+
+    def test_sector_round_trip(self):
+        inst = gen.clustered_towns(n=30, seed=1)
+        d = sector_instance_to_dict(inst)
+        back = sector_instance_from_dict(d)
+        assert back == inst
+
+    def test_generic_dispatch(self):
+        a = gen.uniform_angles(n=5, seed=0)
+        s = gen.uniform_disk(n=5, seed=0)
+        assert instance_from_dict(instance_to_dict(a)) == a
+        assert instance_from_dict(instance_to_dict(s)) == s
+
+    def test_kind_mismatch_raises(self):
+        a = gen.uniform_angles(n=5, seed=0)
+        d = angle_instance_to_dict(a)
+        with pytest.raises(ValueError):
+            sector_instance_from_dict(d)
+        d["kind"] = "bogus"
+        with pytest.raises(ValueError):
+            instance_from_dict(d)
+
+    def test_file_round_trip(self, tmp_path):
+        inst = gen.uniform_angles(n=8, seed=0)
+        p = tmp_path / "inst.json"
+        save_instance(inst, p)
+        assert load_instance(p) == inst
+
+    def test_sector_file_round_trip(self, tmp_path):
+        inst = gen.grid_city(n=12, grid=1, seed=0)
+        p = tmp_path / "inst.json"
+        save_instance(inst, p)
+        assert load_instance(p) == inst
+
+    def test_infinite_radius_round_trip(self):
+        inst = gen.uniform_angles(n=3, seed=0)
+        back = angle_instance_from_dict(angle_instance_to_dict(inst))
+        assert back.antennas[0].radius == inst.antennas[0].radius
+
+    def test_solution_round_trip(self, tmp_path):
+        sol = AngleSolution(
+            orientations=np.array([0.5, 1.5]),
+            assignment=np.array([0, 1, -1]),
+        )
+        d = solution_to_dict(sol)
+        back = solution_from_dict(d)
+        assert isinstance(back, AngleSolution)
+        assert np.array_equal(back.assignment, sol.assignment)
+        p = tmp_path / "sol.json"
+        save_solution(sol, p)
+        loaded = load_solution(p)
+        assert np.array_equal(loaded.orientations, sol.orientations)
+
+    def test_sector_solution_round_trip(self):
+        sol = SectorSolution(
+            orientations=np.array([0.5]), assignment=np.array([0, -1])
+        )
+        back = solution_from_dict(solution_to_dict(sol))
+        assert isinstance(back, SectorSolution)

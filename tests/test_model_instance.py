@@ -1,0 +1,244 @@
+"""Tests for AngleInstance / SectorInstance / Station."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.model.antenna import AntennaSpec
+from repro.model.customer import Customer
+from repro.model.instance import AngleInstance, SectorInstance, Station
+
+
+def simple_angle_instance(n=5, k=2, rho=1.0, capacity=10.0):
+    return AngleInstance(
+        thetas=np.linspace(0, TWO_PI, n, endpoint=False),
+        demands=np.arange(1.0, n + 1.0),
+        antennas=tuple(AntennaSpec(rho=rho, capacity=capacity) for _ in range(k)),
+    )
+
+
+class TestAngleInstance:
+    def test_basic_properties(self):
+        inst = simple_angle_instance(n=5, k=2)
+        assert inst.n == 5
+        assert inst.k == 2
+        assert inst.total_demand == pytest.approx(15.0)
+        assert inst.total_profit == pytest.approx(15.0)
+        assert inst.profit_equals_demand
+
+    def test_arrays_read_only(self):
+        inst = simple_angle_instance()
+        with pytest.raises(ValueError):
+            inst.thetas[0] = 1.0
+        with pytest.raises(ValueError):
+            inst.demands[0] = 1.0
+
+    def test_thetas_normalized(self):
+        inst = AngleInstance(
+            thetas=np.array([-1.0, 7.0]),
+            demands=np.array([1.0, 1.0]),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert (inst.thetas >= 0).all() and (inst.thetas < TWO_PI).all()
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            AngleInstance(
+                thetas=np.zeros(3),
+                demands=np.ones(2),
+                antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+            )
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            AngleInstance(
+                thetas=np.zeros(2),
+                demands=np.array([1.0, 0.0]),
+                antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+            )
+
+    def test_rejects_no_antennas(self):
+        with pytest.raises(ValueError):
+            AngleInstance(thetas=np.zeros(1), demands=np.ones(1), antennas=())
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            AngleInstance(
+                thetas=np.zeros(1),
+                demands=np.array([np.inf]),
+                antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+            )
+
+    def test_rejects_2d_thetas(self):
+        with pytest.raises(ValueError):
+            AngleInstance(
+                thetas=np.zeros((2, 2)),
+                demands=np.ones(2),
+                antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+            )
+
+    def test_capacities_and_widths(self):
+        inst = simple_angle_instance(k=3, rho=0.7, capacity=4.0)
+        assert inst.capacities.tolist() == [4.0, 4.0, 4.0]
+        assert np.allclose(inst.widths, 0.7)
+
+    def test_uniform_antennas_flag(self):
+        inst = simple_angle_instance(k=2)
+        assert inst.has_uniform_antennas
+        mixed = inst.with_antennas(
+            (AntennaSpec(rho=1.0, capacity=1.0), AntennaSpec(rho=2.0, capacity=1.0))
+        )
+        assert not mixed.has_uniform_antennas
+
+    def test_from_customers(self):
+        cs = [Customer(demand=2.0, theta=0.1), Customer(demand=3.0, theta=1.0, profit=9.0)]
+        inst = AngleInstance.from_customers(cs, [AntennaSpec(rho=1.0, capacity=5.0)])
+        assert inst.n == 2
+        assert inst.profits.tolist() == [2.0, 9.0]
+
+    def test_from_customers_rejects_planar(self):
+        cs = [Customer(demand=1.0, position=(0, 0))]
+        with pytest.raises(ValueError):
+            AngleInstance.from_customers(cs, [AntennaSpec(rho=1.0, capacity=1.0)])
+
+    def test_restrict(self):
+        inst = simple_angle_instance(n=5)
+        sub, idx = inst.restrict(np.array([0, 2, 4]))
+        assert sub.n == 3
+        assert idx.tolist() == [0, 2, 4]
+        assert sub.demands.tolist() == [1.0, 3.0, 5.0]
+        assert sub.antennas == inst.antennas
+
+    def test_restrict_with_mask(self):
+        inst = simple_angle_instance(n=4)
+        sub, idx = inst.restrict(np.array([True, False, True, False]))
+        assert idx.tolist() == [0, 2]
+        assert sub.n == 2
+
+    def test_equality(self):
+        a = simple_angle_instance()
+        b = simple_angle_instance()
+        assert a == b
+        c = simple_angle_instance(capacity=99.0)
+        assert a != c
+
+    def test_empty_instance_allowed(self):
+        inst = AngleInstance(
+            thetas=np.empty(0),
+            demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert inst.n == 0
+        assert inst.total_demand == 0.0
+
+
+class TestStation:
+    def test_requires_finite_radius(self):
+        with pytest.raises(ValueError):
+            Station(position=(0, 0), antennas=(AntennaSpec(rho=1.0, capacity=1.0),))
+
+    def test_requires_antennas(self):
+        with pytest.raises(ValueError):
+            Station(position=(0, 0), antennas=())
+
+    def test_max_radius(self):
+        st = Station(
+            position=(0, 0),
+            antennas=(
+                AntennaSpec(rho=1.0, capacity=1.0, radius=5.0),
+                AntennaSpec(rho=1.0, capacity=1.0, radius=9.0),
+            ),
+        )
+        assert st.max_radius == 9.0
+        assert st.k == 2
+
+
+class TestSectorInstance:
+    def make(self):
+        st = Station(
+            position=(0.0, 0.0),
+            antennas=(AntennaSpec(rho=math.pi, capacity=10.0, radius=5.0),),
+        )
+        return SectorInstance(
+            positions=np.array([[1.0, 0.0], [0.0, 2.0], [10.0, 0.0]]),
+            demands=np.array([1.0, 2.0, 3.0]),
+            stations=(st,),
+        )
+
+    def test_properties(self):
+        inst = self.make()
+        assert inst.n == 3
+        assert inst.m == 1
+        assert inst.total_antennas == 1
+        assert inst.total_demand == 6.0
+
+    def test_rejects_bad_positions_shape(self):
+        st = Station(
+            position=(0, 0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0, radius=1.0),),
+        )
+        with pytest.raises(ValueError):
+            SectorInstance(positions=np.zeros((3, 3)), demands=np.ones(3), stations=(st,))
+
+    def test_rejects_no_stations(self):
+        with pytest.raises(ValueError):
+            SectorInstance(positions=np.zeros((1, 2)), demands=np.ones(1), stations=())
+
+    def test_antenna_table(self):
+        st1 = Station(
+            position=(0, 0),
+            antennas=(
+                AntennaSpec(rho=1.0, capacity=1.0, radius=1.0),
+                AntennaSpec(rho=2.0, capacity=1.0, radius=1.0),
+            ),
+        )
+        st2 = Station(
+            position=(5, 5),
+            antennas=(AntennaSpec(rho=3.0, capacity=1.0, radius=1.0),),
+        )
+        inst = SectorInstance(
+            positions=np.zeros((1, 2)), demands=np.ones(1), stations=(st1, st2)
+        )
+        table = inst.antenna_table()
+        assert [(g, s) for g, s, _ in table] == [(0, 0), (1, 0), (2, 1)]
+        assert table[1][2].rho == 2.0
+
+    def test_station_polar(self):
+        inst = self.make()
+        thetas, rs = inst.station_polar(0)
+        assert rs.tolist() == pytest.approx([1.0, 2.0, 10.0])
+        assert thetas[0] == pytest.approx(0.0)
+        assert thetas[1] == pytest.approx(math.pi / 2)
+
+    def test_reachable_mask(self):
+        inst = self.make()
+        assert inst.reachable_mask(0).tolist() == [True, True, False]
+
+    def test_station_angle_instance(self):
+        inst = self.make()
+        sub, idx = inst.station_angle_instance(0)
+        assert idx.tolist() == [0, 1]
+        assert sub.n == 2
+        assert sub.antennas == inst.stations[0].antennas
+
+    def test_from_customers(self):
+        st = Station(
+            position=(0, 0),
+            antennas=(AntennaSpec(rho=1.0, capacity=5.0, radius=2.0),),
+        )
+        cs = [Customer(demand=1.0, position=(1.0, 0.0))]
+        inst = SectorInstance.from_customers(cs, [st])
+        assert inst.n == 1
+
+    def test_from_customers_rejects_angular(self):
+        st = Station(
+            position=(0, 0),
+            antennas=(AntennaSpec(rho=1.0, capacity=5.0, radius=2.0),),
+        )
+        with pytest.raises(ValueError):
+            SectorInstance.from_customers([Customer(demand=1.0, theta=0.0)], [st])
+
+    def test_equality(self):
+        assert self.make() == self.make()

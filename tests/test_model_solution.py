@@ -1,0 +1,256 @@
+"""Tests for solution objects and the independent feasibility checker."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance, SectorInstance, Station
+from repro.model.solution import (
+    AngleSolution,
+    FeasibilityError,
+    FractionalSolution,
+    SectorSolution,
+)
+
+
+def make_instance():
+    """4 customers at 0, .5, 3, 3.2; two antennas width 1, capacity 3."""
+    return AngleInstance(
+        thetas=np.array([0.0, 0.5, 3.0, 3.2]),
+        demands=np.array([1.0, 2.0, 2.0, 2.0]),
+        antennas=(
+            AntennaSpec(rho=1.0, capacity=3.0),
+            AntennaSpec(rho=1.0, capacity=3.0),
+        ),
+    )
+
+
+class TestAngleSolution:
+    def test_empty_is_feasible(self):
+        inst = make_instance()
+        sol = AngleSolution.empty(inst)
+        assert sol.violations(inst) == []
+        assert sol.value(inst) == 0.0
+        assert sol.served_count() == 0
+
+    def test_valid_solution(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.array([0.0, 3.0]),
+            assignment=np.array([0, 0, 1, -1]),
+        )
+        sol.verify(inst)
+        assert sol.value(inst) == pytest.approx(5.0)
+        assert sol.served_demand(inst) == pytest.approx(5.0)
+        assert sol.served_count() == 3
+
+    def test_loads(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.array([0.0, 3.0]),
+            assignment=np.array([0, 0, 1, -1]),
+        )
+        assert sol.loads(inst).tolist() == [3.0, 2.0]
+
+    def test_coverage_violation_detected(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.array([0.0, 3.0]),
+            assignment=np.array([0, 0, 0, -1]),  # customer 2 not in arc 0
+        )
+        v = sol.violations(inst)
+        assert any("not in arc" in s for s in v)
+        with pytest.raises(FeasibilityError):
+            sol.verify(inst)
+
+    def test_capacity_violation_detected(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.array([3.0, 0.0]),
+            assignment=np.array([-1, -1, 0, 0]),  # load 4 > 3 on antenna 0
+        )
+        v = sol.violations(inst)
+        assert any("overloaded" in s for s in v)
+
+    def test_wrong_shapes_detected(self):
+        inst = make_instance()
+        sol = AngleSolution(orientations=np.zeros(1), assignment=np.zeros(4, int))
+        assert sol.violations(inst)
+        sol2 = AngleSolution(orientations=np.zeros(2), assignment=np.zeros(3, int))
+        assert sol2.violations(inst)
+
+    def test_bad_antenna_index_detected(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.zeros(2), assignment=np.array([5, -1, -1, -1])
+        )
+        assert any(">= k" in s for s in sol.violations(inst))
+        sol2 = AngleSolution(
+            orientations=np.zeros(2), assignment=np.array([-2, -1, -1, -1])
+        )
+        assert any("below -1" in s for s in sol2.violations(inst))
+
+    def test_require_disjoint(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.array([0.0, 0.5]),  # overlapping arcs, both active
+            assignment=np.array([0, 1, -1, -1]),
+        )
+        assert sol.violations(inst) == []
+        assert any("overlap" in s for s in sol.violations(inst, require_disjoint=True))
+
+    def test_require_disjoint_ignores_idle_antennas(self):
+        inst = make_instance()
+        sol = AngleSolution(
+            orientations=np.array([0.0, 0.5]),  # overlapping, but antenna 1 idle
+            assignment=np.array([0, 0, -1, -1]),
+        )
+        assert sol.violations(inst, require_disjoint=True) == []
+
+    def test_arcs(self):
+        inst = make_instance()
+        sol = AngleSolution(orientations=np.array([1.0, 2.0]), assignment=np.full(4, -1))
+        arcs = sol.arcs(inst)
+        assert arcs[0].start == pytest.approx(1.0)
+        assert arcs[1].width == pytest.approx(1.0)
+
+    def test_profit_differs_from_demand(self):
+        inst = AngleInstance(
+            thetas=np.array([0.0, 0.1]),
+            demands=np.array([1.0, 1.0]),
+            profits=np.array([10.0, 1.0]),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        sol = AngleSolution(orientations=np.zeros(1), assignment=np.array([0, -1]))
+        assert sol.value(inst) == 10.0
+        assert sol.served_demand(inst) == 1.0
+
+
+class TestFractionalSolution:
+    def test_feasible_split(self):
+        inst = make_instance()
+        frac = np.zeros((4, 2))
+        frac[0, 0] = 1.0
+        frac[1, 0] = 0.5
+        sol = FractionalSolution(
+            orientations=np.array([0.0, 3.0]), fractions=frac
+        )
+        sol.verify(inst)
+        assert sol.value(inst) == pytest.approx(1.0 + 0.5 * 2.0)
+        assert sol.loads(inst)[0] == pytest.approx(2.0)
+
+    def test_row_sum_violation(self):
+        inst = make_instance()
+        frac = np.zeros((4, 2))
+        frac[0] = [0.7, 0.7]
+        sol = FractionalSolution(orientations=np.array([0.0, 0.0]), fractions=frac)
+        assert any("> 1" in s for s in sol.violations(inst))
+
+    def test_coverage_violation(self):
+        inst = make_instance()
+        frac = np.zeros((4, 2))
+        frac[2, 0] = 0.5  # antenna 0 at orientation 0 does not cover theta=3
+        sol = FractionalSolution(orientations=np.array([0.0, 3.0]), fractions=frac)
+        assert any("outside its arc" in s for s in sol.violations(inst))
+
+    def test_capacity_violation(self):
+        inst = make_instance()
+        frac = np.zeros((4, 2))
+        frac[2, 0] = 1.0
+        frac[3, 0] = 1.0  # load 4 > 3
+        sol = FractionalSolution(orientations=np.array([3.0, 0.0]), fractions=frac)
+        assert any("overloaded" in s for s in sol.violations(inst))
+
+    def test_negative_fraction(self):
+        inst = make_instance()
+        frac = np.zeros((4, 2))
+        frac[0, 0] = -0.5
+        sol = FractionalSolution(orientations=np.array([0.0, 0.0]), fractions=frac)
+        assert any("negative" in s for s in sol.violations(inst))
+
+    def test_round_to_integral_feasible(self):
+        inst = make_instance()
+        frac = np.zeros((4, 2))
+        frac[0, 0] = 1.0
+        frac[1, 0] = 1.0
+        frac[2, 1] = 0.9
+        frac[3, 1] = 0.9
+        sol = FractionalSolution(orientations=np.array([0.0, 3.0]), fractions=frac)
+        integral = sol.round_to_integral(inst)
+        integral.verify(inst)
+        # rounding keeps full-fraction customers and at most one of 2/3
+        assert integral.value(inst) >= 3.0
+
+    def test_shape_violations(self):
+        inst = make_instance()
+        sol = FractionalSolution(orientations=np.zeros(2), fractions=np.zeros((3, 2)))
+        assert sol.violations(inst)
+        sol2 = FractionalSolution(orientations=np.zeros(1), fractions=np.zeros((4, 2)))
+        assert sol2.violations(inst)
+
+
+class TestSectorSolution:
+    def make(self):
+        st = Station(
+            position=(0.0, 0.0),
+            antennas=(AntennaSpec(rho=math.pi / 2, capacity=3.0, radius=5.0),),
+        )
+        inst = SectorInstance(
+            positions=np.array([[1.0, 1.0], [-1.0, 1.0], [10.0, 0.0]]),
+            demands=np.array([2.0, 2.0, 1.0]),
+            stations=(st,),
+        )
+        return inst
+
+    def test_empty(self):
+        inst = self.make()
+        sol = SectorSolution.empty(inst)
+        assert sol.violations(inst) == []
+        assert sol.value(inst) == 0.0
+
+    def test_valid(self):
+        inst = self.make()
+        sol = SectorSolution(
+            orientations=np.array([0.0]),
+            assignment=np.array([0, -1, -1]),
+        )
+        sol.verify(inst)
+        assert sol.value(inst) == 2.0
+        assert sol.loads(inst).tolist() == [2.0]
+
+    def test_out_of_sector_detected(self):
+        inst = self.make()
+        sol = SectorSolution(
+            orientations=np.array([0.0]),
+            assignment=np.array([-1, 0, -1]),  # (-1,1) has angle 3*pi/4 > pi/2
+        )
+        assert any("outside its sector" in s for s in sol.violations(inst))
+
+    def test_out_of_radius_detected(self):
+        inst = self.make()
+        sol = SectorSolution(
+            orientations=np.array([0.0]),
+            assignment=np.array([-1, -1, 0]),  # r = 10 > 5
+        )
+        assert any("outside its sector" in s for s in sol.violations(inst))
+
+    def test_capacity_detected(self):
+        st = Station(
+            position=(0.0, 0.0),
+            antennas=(AntennaSpec(rho=TWO_PI, capacity=3.0, radius=5.0),),
+        )
+        inst = SectorInstance(
+            positions=np.array([[1.0, 0.0], [0.0, 1.0]]),
+            demands=np.array([2.0, 2.0]),
+            stations=(st,),
+        )
+        sol = SectorSolution(
+            orientations=np.array([0.0]), assignment=np.array([0, 0])
+        )
+        assert any("overloaded" in s for s in sol.violations(inst))
+        with pytest.raises(FeasibilityError) as ei:
+            sol.verify(inst)
+        assert ei.value.violations

@@ -1,0 +1,168 @@
+"""Tests for the online admission variant (repro.online)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.model.antenna import AntennaSpec
+from repro.online import (
+    OnlineAdmission,
+    POLICIES,
+    replay_offline_reference,
+    work_conserving_bound,
+)
+from repro.online.admission import make_threshold_policy
+
+
+def two_beams(capacity=4.0, rho=2.0):
+    return (
+        [AntennaSpec(rho=rho, capacity=capacity), AntennaSpec(rho=rho, capacity=capacity)],
+        [0.0, 3.0],
+    )
+
+
+class TestOnlineAdmissionBasics:
+    def test_accepts_covered_fitting(self):
+        ants, oris = two_beams()
+        sim = OnlineAdmission(ants, oris, policy="first_fit")
+        assert sim.offer(0.5, 1.0) == 0
+        assert sim.accepted_demand == 1.0
+        assert sim.accepted_count == 1
+
+    def test_rejects_uncovered(self):
+        ants, oris = two_beams()
+        sim = OnlineAdmission(ants, oris)
+        assert sim.offer(5.8, 1.0) == -1  # outside both arcs
+        assert sim.rejected_count == 1
+
+    def test_rejects_when_full(self):
+        ants, oris = two_beams(capacity=1.0)
+        sim = OnlineAdmission(ants, oris, policy="first_fit")
+        assert sim.offer(0.5, 1.0) == 0
+        # theta=0.5 is covered only by the arc at 0.0 (the other arc covers
+        # [3, 5]), and that antenna is now full -> irrevocable rejection.
+        assert sim.offer(0.5, 1.0) == -1
+        assert sim.rejected_count == 1
+
+    def test_overlapping_beams_spill(self):
+        ants = [AntennaSpec(rho=2.0, capacity=1.0), AntennaSpec(rho=2.0, capacity=1.0)]
+        sim = OnlineAdmission(ants, [0.0, 0.0], policy="first_fit")
+        assert sim.offer(0.5, 1.0) == 0
+        assert sim.offer(0.5, 1.0) == 1  # second identical beam takes the spill
+
+    def test_rejects_nonpositive_demand(self):
+        ants, oris = two_beams()
+        sim = OnlineAdmission(ants, oris)
+        with pytest.raises(ValueError):
+            sim.offer(0.5, 0.0)
+
+    def test_misaligned_inputs(self):
+        ants, _ = two_beams()
+        with pytest.raises(ValueError):
+            OnlineAdmission(ants, [0.0])
+
+    def test_unknown_policy(self):
+        ants, oris = two_beams()
+        with pytest.raises(ValueError):
+            OnlineAdmission(ants, oris, policy="psychic")
+
+    def test_run_stream(self):
+        ants, oris = two_beams()
+        sim = OnlineAdmission(ants, oris, policy="best_fit")
+        total = sim.run([0.5, 3.5, 0.7], [1.0, 2.0, 1.0])
+        assert total == pytest.approx(4.0)
+
+    def test_residuals_decrease(self):
+        ants, oris = two_beams(capacity=5.0)
+        sim = OnlineAdmission(ants, oris)
+        sim.offer(0.5, 2.0)
+        assert sim.residuals.tolist() == [3.0, 5.0]
+
+
+class TestPolicies:
+    def test_best_fit_packs_tightest(self):
+        # both antennas cover theta=3.5 (arcs [3,5] and... make overlapping arcs)
+        ants = [AntennaSpec(rho=2.0, capacity=5.0), AntennaSpec(rho=2.0, capacity=5.0)]
+        oris = [3.0, 3.0]
+        sim = OnlineAdmission(ants, oris, policy="best_fit")
+        sim.offer(3.5, 3.0)   # goes to antenna 0 (tie, first)
+        sim.offer(3.5, 1.5)   # residuals (2.0, 5.0): best fit -> antenna 0
+        assert sim.residuals.tolist() == [0.5, 5.0]
+
+    def test_worst_fit_balances(self):
+        ants = [AntennaSpec(rho=2.0, capacity=5.0), AntennaSpec(rho=2.0, capacity=5.0)]
+        oris = [3.0, 3.0]
+        sim = OnlineAdmission(ants, oris, policy="worst_fit")
+        sim.offer(3.5, 3.0)
+        sim.offer(3.5, 1.5)   # residuals (2.0, 5.0): worst fit -> antenna 1
+        assert sim.residuals.tolist() == [2.0, 3.5]
+
+    def test_threshold_rejects_whales(self):
+        ants, oris = two_beams(capacity=4.0)
+        sim = OnlineAdmission(ants, oris, policy=make_threshold_policy(0.5))
+        assert sim.offer(0.5, 3.0) == -1  # 3.0 > 0.5 * 4.0
+        assert sim.offer(0.5, 1.5) >= 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make_threshold_policy(0.0)
+        with pytest.raises(ValueError):
+            make_threshold_policy(1.5)
+
+
+class TestCompetitiveGuarantee:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=TWO_PI - 1e-9),
+                st.floats(min_value=0.1, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        st.sampled_from(sorted(POLICIES)),
+    )
+    def test_work_conserving_floor(self, stream, policy_name):
+        """Every work-conserving policy clears the (1-d)/(2-d) floor."""
+        ants, oris = two_beams(capacity=3.0, rho=2.5)
+        thetas = [t for t, _ in stream]
+        demands = [d for _, d in stream]
+        sim = OnlineAdmission(ants, oris, policy=policy_name)
+        online = sim.run(thetas, demands)
+        offline = replay_offline_reference(ants, oris, thetas, demands)
+        floor = work_conserving_bound(ants, demands)
+        assert online >= floor * offline - 1e-9
+
+    def test_floor_values(self):
+        ants = [AntennaSpec(rho=1.0, capacity=4.0)]
+        # d_max=1, c_min=4 -> delta=.25 -> floor = .75/1.75
+        assert work_conserving_bound(ants, [1.0, 0.5]) == pytest.approx(0.75 / 1.75)
+        assert work_conserving_bound(ants, []) == 1.0
+        assert work_conserving_bound(ants, [5.0]) == 0.0
+
+    def test_small_demands_near_optimal(self):
+        rng = np.random.default_rng(3)
+        ants, oris = two_beams(capacity=5.0, rho=2.5)
+        thetas = rng.uniform(0, TWO_PI, 60)
+        demands = rng.uniform(0.05, 0.15, 60)
+        sim = OnlineAdmission(ants, oris, policy="best_fit")
+        online = sim.run(thetas, demands)
+        offline = replay_offline_reference(ants, oris, thetas, demands)
+        assert online >= 0.9 * offline - 1e-9
+
+
+class TestOfflineReference:
+    def test_small_uses_exact(self):
+        ants, oris = two_beams()
+        v = replay_offline_reference(ants, oris, [0.5, 3.5], [1.0, 2.0])
+        assert v == pytest.approx(3.0)
+
+    def test_large_uses_splittable(self):
+        rng = np.random.default_rng(0)
+        ants, oris = two_beams(capacity=3.0)
+        thetas = rng.uniform(0, TWO_PI, 40)
+        demands = rng.uniform(0.2, 0.6, 40)
+        v = replay_offline_reference(ants, oris, thetas, demands, exact_limit=5)
+        assert v > 0

@@ -1,0 +1,93 @@
+"""Tests for the rotation lemma machinery (repro.packing.canonical)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.geometry.arcs import Arc
+from repro.packing.canonical import canonical_starts, rotation_candidates
+
+angle_lists = st.lists(
+    st.floats(min_value=0.0, max_value=TWO_PI - 1e-9, allow_nan=False),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestCanonicalStarts:
+    def test_empty_gives_origin(self):
+        assert canonical_starts([]).tolist() == [0.0]
+
+    def test_deduplicates(self):
+        out = canonical_starts([1.0, 1.0, 2.0])
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_sorted(self):
+        out = canonical_starts([3.0, 1.0, 2.0])
+        assert (np.diff(out) > 0).all()
+
+    def test_normalizes(self):
+        out = canonical_starts([-1.0])
+        assert out[0] == pytest.approx(TWO_PI - 1.0)
+
+    @settings(max_examples=120)
+    @given(
+        angle_lists,
+        st.floats(min_value=0.01, max_value=TWO_PI, allow_nan=False),
+        st.floats(min_value=-20, max_value=20, allow_nan=False),
+    )
+    def test_rotation_lemma(self, thetas, rho, alpha):
+        """The lemma itself: some canonical window covers any arc's coverage."""
+        thetas = np.asarray(thetas)
+        arc = Arc(alpha, rho)
+        covered = {i for i in range(len(thetas)) if arc.contains(float(thetas[i]))}
+        if not covered:
+            return
+        found = False
+        for s in canonical_starts(thetas):
+            cand = Arc(float(s), rho)
+            if all(cand.contains(float(thetas[i])) for i in covered):
+                found = True
+                break
+        assert found
+
+
+class TestRotationCandidates:
+    def test_scalar_width_no_stacking_is_canonical(self):
+        thetas = [0.5, 1.5]
+        out = rotation_candidates(thetas, 1.0)
+        assert out.tolist() == [0.5, 1.5]
+
+    def test_uniform_grid(self):
+        thetas = [1.0]
+        out = rotation_candidates(thetas, [0.5, 0.5])  # k=2 identical
+        # grid: 1.0 + j*0.5 for j in -1..1
+        assert np.allclose(sorted(out), [0.5, 1.0, 1.5])
+
+    def test_stacking_override(self):
+        out = rotation_candidates([1.0], 0.5, stacking=2)
+        assert np.allclose(sorted(out), [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_heterogeneous_subset_sums(self):
+        out = rotation_candidates([0.0], [0.3, 0.5])
+        expected = {0.0, 0.3, 0.5, 0.8, TWO_PI - 0.3, TWO_PI - 0.5, TWO_PI - 0.8}
+        # signed subset sums of {0.3, 0.5} around 0.0, plus 0.3-0.5 combos
+        for e in expected:
+            assert np.isclose(out, e % TWO_PI, atol=1e-9).any()
+
+    def test_heterogeneous_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            rotation_candidates([0.0], list(np.linspace(0.1, 0.2, 11)))
+
+    def test_contains_base_angles(self):
+        thetas = [0.2, 3.0, 5.0]
+        out = rotation_candidates(thetas, [1.0, 1.0, 1.0])
+        for t in thetas:
+            assert np.isclose(out, t, atol=1e-12).any()
+
+    @given(angle_lists, st.floats(min_value=0.05, max_value=2.0))
+    def test_all_normalized_unique(self, thetas, rho):
+        out = rotation_candidates(thetas, [rho, rho])
+        assert (out >= 0).all() and (out < TWO_PI).all()
+        assert np.unique(out).size == out.size

@@ -1,0 +1,186 @@
+"""Tests for the dual covering problem (repro.packing.covering)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.model import generators as gen
+from repro.packing.covering import (
+    CoverResult,
+    InfeasibleCoverError,
+    cover_instance,
+    cover_lower_bound,
+    greedy_cover,
+    verify_cover,
+    _min_arcs_to_touch,
+)
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+
+
+class TestMinArcsToTouch:
+    def test_empty(self):
+        assert _min_arcs_to_touch(np.empty(0), 1.0) == 0
+
+    def test_single_point(self):
+        assert _min_arcs_to_touch(np.array([1.0]), 0.5) == 1
+
+    def test_cluster_needs_one(self):
+        thetas = np.array([1.0, 1.1, 1.2])
+        assert _min_arcs_to_touch(thetas, 0.5) == 1
+
+    def test_opposite_points_need_two(self):
+        thetas = np.array([0.0, math.pi])
+        assert _min_arcs_to_touch(thetas, 1.0) == 2
+
+    def test_full_spread(self):
+        thetas = np.linspace(0, TWO_PI, 8, endpoint=False)
+        # arcs of width just over one gap touch 2 points each -> 4 arcs
+        assert _min_arcs_to_touch(thetas, TWO_PI / 8 + 1e-6) == 4
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=TWO_PI - 1e-9), min_size=1, max_size=10),
+        st.floats(min_value=0.1, max_value=TWO_PI - 1e-6),
+    )
+    def test_is_feasible_count(self, thetas, rho):
+        """The returned count is achievable: arcs starting at uniq angles."""
+        count = _min_arcs_to_touch(np.array(thetas), rho)
+        assert 1 <= count <= len(set(np.mod(thetas, TWO_PI).tolist()))
+
+
+class TestLowerBound:
+    def test_capacity_bound(self):
+        spec = AntennaSpec(rho=TWO_PI, capacity=2.0)
+        thetas = np.zeros(4)
+        demands = np.ones(4)  # total 4, cap 2 -> >= 2
+        assert cover_lower_bound(thetas, demands, spec) == 2
+
+    def test_geometry_bound(self):
+        spec = AntennaSpec(rho=1.0, capacity=100.0)
+        thetas = np.array([0.0, math.pi])
+        demands = np.array([0.1, 0.1])
+        assert cover_lower_bound(thetas, demands, spec) == 2
+
+    def test_empty(self):
+        spec = AntennaSpec(rho=1.0, capacity=1.0)
+        assert cover_lower_bound(np.empty(0), np.empty(0), spec) == 0
+
+
+class TestGreedyCover:
+    def test_empty_instance(self):
+        spec = AntennaSpec(rho=1.0, capacity=1.0)
+        res = greedy_cover(np.empty(0), np.empty(0), spec, EXACT)
+        assert res.antennas_used == 0
+
+    def test_single_cluster_one_antenna(self):
+        spec = AntennaSpec(rho=1.0, capacity=10.0)
+        thetas = np.array([0.1, 0.2, 0.3])
+        demands = np.ones(3)
+        res = greedy_cover(thetas, demands, spec, EXACT)
+        assert res.antennas_used == 1
+        verify_cover(thetas, demands, spec, res)
+
+    def test_infeasible_raises(self):
+        spec = AntennaSpec(rho=1.0, capacity=1.0)
+        with pytest.raises(InfeasibleCoverError):
+            greedy_cover(np.array([0.0]), np.array([2.0]), spec, EXACT)
+
+    def test_capacity_forces_multiple(self):
+        spec = AntennaSpec(rho=TWO_PI, capacity=2.0)
+        thetas = np.linspace(0, 1, 6)
+        demands = np.ones(6)  # total 6, cap 2 -> at least 3
+        res = greedy_cover(thetas, demands, spec, EXACT)
+        verify_cover(thetas, demands, spec, res)
+        assert res.antennas_used >= res.lower_bound == 3
+        assert res.antennas_used == 3  # greedy is optimal here
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_covered_and_bounded(self, seed):
+        inst = gen.uniform_angles(n=25, k=1, rho=1.2, capacity_fraction=0.2, seed=seed)
+        res = cover_instance(inst, GREEDY)
+        verify_cover(inst.thetas, inst.demands, inst.antennas[0], res)
+        assert res.antennas_used >= res.lower_bound
+        # greedy-set-cover style: should stay within a small factor here
+        assert res.antennas_used <= 4 * res.lower_bound + 1
+
+    def test_gap_property(self):
+        res = CoverResult(
+            orientations=np.zeros(3),
+            assignment=np.zeros(5, dtype=np.int64),
+            antennas_used=3,
+            lower_bound=2,
+        )
+        assert res.gap() == pytest.approx(1.5)
+
+    def test_max_antennas_guard(self):
+        spec = AntennaSpec(rho=0.1, capacity=1.0)
+        thetas = np.linspace(0, TWO_PI, 10, endpoint=False)
+        demands = np.ones(10)
+        with pytest.raises(RuntimeError):
+            greedy_cover(thetas, demands, spec, EXACT, max_antennas=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=TWO_PI - 1e-9), min_size=1, max_size=12),
+        st.floats(min_value=0.3, max_value=2.0),
+    )
+    def test_property_full_coverage(self, thetas, rho):
+        thetas = np.array(thetas)
+        demands = np.ones(thetas.size)
+        spec = AntennaSpec(rho=rho, capacity=3.0)
+        res = greedy_cover(thetas, demands, spec, EXACT)
+        verify_cover(thetas, demands, spec, res)
+        assert (res.assignment >= 0).all()
+
+
+class TestVerifyCover:
+    def make_valid(self):
+        spec = AntennaSpec(rho=1.0, capacity=10.0)
+        thetas = np.array([0.1, 0.2])
+        demands = np.ones(2)
+        res = greedy_cover(thetas, demands, spec, EXACT)
+        return spec, thetas, demands, res
+
+    def test_catches_unserved(self):
+        spec, thetas, demands, res = self.make_valid()
+        bad = CoverResult(
+            orientations=res.orientations,
+            assignment=np.array([0, -1]),
+            antennas_used=res.antennas_used,
+            lower_bound=1,
+        )
+        with pytest.raises(ValueError):
+            verify_cover(thetas, demands, spec, bad)
+
+    def test_catches_overload(self):
+        spec = AntennaSpec(rho=1.0, capacity=1.5)
+        thetas = np.array([0.1, 0.2])
+        demands = np.ones(2)
+        bad = CoverResult(
+            orientations=np.array([0.0]),
+            assignment=np.array([0, 0]),
+            antennas_used=1,
+            lower_bound=1,
+        )
+        with pytest.raises(ValueError):
+            verify_cover(thetas, demands, spec, bad)
+
+    def test_catches_out_of_arc(self):
+        spec = AntennaSpec(rho=0.5, capacity=10.0)
+        thetas = np.array([0.1, 3.0])
+        demands = np.ones(2)
+        bad = CoverResult(
+            orientations=np.array([0.0]),
+            assignment=np.array([0, 0]),
+            antennas_used=1,
+            lower_bound=1,
+        )
+        with pytest.raises(ValueError):
+            verify_cover(thetas, demands, spec, bad)

@@ -1,0 +1,211 @@
+"""Tests for exact solvers, local search, shifting, and fixed assignment."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance
+from repro.model import generators as gen
+from repro.packing.assignment import greedy_assignment_fixed
+from repro.packing.exact import (
+    solve_exact_angle,
+    solve_exact_fixed_orientations,
+)
+from repro.packing.local_search import improve_solution
+from repro.packing.multi import solve_greedy_multi, solve_non_overlapping_dp
+from repro.packing.shifting import solve_shifting
+from tests.helpers import brute_force_fixed_assignment
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+
+
+def small_instance(seed, n=7, k=2):
+    rng = np.random.default_rng(seed)
+    rho = float(rng.uniform(0.5, 2.5))
+    demands = rng.uniform(0.3, 2.0, n)
+    cap = 0.4 * demands.sum()
+    return AngleInstance(
+        thetas=rng.uniform(0, TWO_PI, n),
+        demands=demands,
+        antennas=tuple(AntennaSpec(rho=rho, capacity=cap) for _ in range(k)),
+    )
+
+
+class TestExactFixedOrientations:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        inst = small_instance(seed, n=6)
+        rng = np.random.default_rng(seed)
+        ori = rng.uniform(0, TWO_PI, inst.k)
+        fast = solve_exact_fixed_orientations(inst, ori)
+        fast.verify(inst)
+        ref = brute_force_fixed_assignment(inst, ori)
+        assert fast.value(inst) == pytest.approx(ref, abs=1e-9)
+
+    def test_node_budget(self):
+        inst = gen.uniform_angles(n=25, k=3, rho=TWO_PI, seed=0)
+        with pytest.raises(RuntimeError):
+            solve_exact_fixed_orientations(inst, np.zeros(3), max_nodes=10)
+
+    def test_disabled_antennas(self):
+        inst = small_instance(1)
+        ori = np.zeros(inst.k)
+        all_on = solve_exact_fixed_orientations(inst, ori)
+        one_off = solve_exact_fixed_orientations(inst, ori, disabled=[1])
+        assert (one_off.assignment != 1).all()
+        assert one_off.value(inst) <= all_on.value(inst) + 1e-9
+
+    def test_nobody_coverable(self):
+        inst = AngleInstance(
+            thetas=np.array([3.0]),
+            demands=np.array([1.0]),
+            antennas=(AntennaSpec(rho=0.5, capacity=1.0),),
+        )
+        sol = solve_exact_fixed_orientations(inst, [0.0])
+        assert sol.value(inst) == 0.0
+
+
+class TestExactAngle:
+    def test_tuple_budget(self):
+        inst = gen.uniform_angles(n=40, k=4, seed=0)
+        with pytest.raises(RuntimeError):
+            solve_exact_angle(inst, max_tuples=10)
+
+    def test_monotone_in_capacity(self):
+        inst = small_instance(0, n=6)
+        bigger = inst.with_antennas(
+            tuple(a.scaled_capacity(2.0) for a in inst.antennas)
+        )
+        assert solve_exact_angle(bigger).value(bigger) >= solve_exact_angle(
+            inst
+        ).value(inst) - 1e-9
+
+    def test_disjoint_leq_general(self):
+        for seed in range(5):
+            inst = small_instance(seed, n=6)
+            dis = solve_exact_angle(inst, require_disjoint=True)
+            dis.verify(inst, require_disjoint=True)
+            free = solve_exact_angle(inst)
+            assert dis.value(inst) <= free.value(inst) + 1e-9
+
+    def test_single_customer(self):
+        inst = AngleInstance(
+            thetas=np.array([1.0]),
+            demands=np.array([1.0]),
+            antennas=(AntennaSpec(rho=0.5, capacity=2.0),),
+        )
+        assert solve_exact_angle(inst).value(inst) == 1.0
+
+    def test_empty(self):
+        inst = AngleInstance(
+            thetas=np.empty(0),
+            demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert solve_exact_angle(inst).value(inst) == 0.0
+
+
+class TestLocalSearch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_decreases(self, seed):
+        inst = gen.clustered_angles(n=30, k=3, seed=seed)
+        base = solve_greedy_multi(inst, GREEDY)
+        improved = improve_solution(inst, base, EXACT)
+        improved.verify(inst)
+        assert improved.value(inst) >= base.value(inst) - 1e-9
+
+    def test_fixes_bad_start(self):
+        # all antennas pointed away from the single cluster
+        rng = np.random.default_rng(0)
+        thetas = rng.uniform(0.0, 0.3, 10)
+        inst = AngleInstance(
+            thetas=thetas,
+            demands=np.ones(10),
+            antennas=(AntennaSpec(rho=1.0, capacity=5.0),),
+        )
+        from repro.model.solution import AngleSolution
+
+        bad = AngleSolution(
+            orientations=np.array([3.0]), assignment=np.full(10, -1)
+        )
+        improved = improve_solution(inst, bad, EXACT)
+        assert improved.value(inst) == pytest.approx(5.0)
+
+    def test_fill_pass_uses_slack(self):
+        inst = AngleInstance(
+            thetas=np.array([0.1, 0.2]),
+            demands=np.array([1.0, 1.0]),
+            antennas=(AntennaSpec(rho=1.0, capacity=2.0),),
+        )
+        from repro.model.solution import AngleSolution
+
+        partial = AngleSolution(
+            orientations=np.array([0.0]), assignment=np.array([0, -1])
+        )
+        improved = improve_solution(inst, partial, EXACT, max_rounds=1)
+        assert improved.value(inst) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_idempotent_at_fixed_point(self, seed):
+        inst = gen.uniform_angles(n=20, k=2, seed=seed)
+        s1 = improve_solution(inst, solve_greedy_multi(inst, EXACT), EXACT)
+        s2 = improve_solution(inst, s1, EXACT)
+        assert s2.value(inst) == pytest.approx(s1.value(inst), abs=1e-9)
+
+
+class TestShifting:
+    def test_requires_uniform(self):
+        inst = gen.mixed_antenna_angles(n=20, seed=0)
+        with pytest.raises(ValueError):
+            solve_shifting(inst, EXACT)
+
+    def test_requires_positive_t(self):
+        inst = gen.uniform_angles(n=10, k=2, seed=0)
+        with pytest.raises(ValueError):
+            solve_shifting(inst, EXACT, t=0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_loss_bound_vs_dp(self, seed):
+        inst = small_instance(seed, n=8, k=2)
+        rho = inst.antennas[0].rho
+        t = 8
+        dp = solve_non_overlapping_dp(inst, EXACT, boundary_fill=False).value(inst)
+        sh = solve_shifting(inst, EXACT, t=t, boundary_fill=False)
+        sh.verify(inst, require_disjoint=True)
+        assert sh.value(inst) >= (1 - rho / TWO_PI - 1 / t) * dp - 1e-9
+        assert sh.value(inst) <= dp + 1e-9
+
+    def test_more_cuts_never_hurt_much(self):
+        inst = gen.clustered_angles(n=30, k=3, seed=1)
+        v4 = solve_shifting(inst, EXACT, t=4).value(inst)
+        v32 = solve_shifting(inst, EXACT, t=32).value(inst)
+        assert v32 >= v4 - 1e-9  # best-of-cuts is monotone when cuts nest... sanity
+        # (4 divides 32 so the t=4 cuts are a subset of the t=32 cuts)
+
+    def test_empty(self):
+        inst = AngleInstance(
+            thetas=np.empty(0),
+            demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert solve_shifting(inst, EXACT).value(inst) == 0.0
+
+
+class TestGreedyAssignmentFixed:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_feasible_and_half_of_exact(self, seed):
+        inst = small_instance(seed)
+        rng = np.random.default_rng(seed)
+        ori = rng.uniform(0, TWO_PI, inst.k)
+        sol = greedy_assignment_fixed(inst, ori, EXACT)
+        sol.verify(inst)
+        ref = solve_exact_fixed_orientations(inst, ori).value(inst)
+        assert sol.value(inst) >= 0.5 * ref - 1e-9
+
+    def test_shape_validation(self):
+        inst = small_instance(0)
+        with pytest.raises(ValueError):
+            greedy_assignment_fixed(inst, [0.0], EXACT)

@@ -1,0 +1,95 @@
+"""Tests for the insertion heuristic (repro.packing.insertion)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance
+from repro.model import generators as gen
+from repro.packing.insertion import solve_insertion
+from repro.packing.multi import solve_non_overlapping_dp
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+
+
+class TestInsertionBasics:
+    def test_requires_uniform_antennas(self):
+        inst = gen.mixed_antenna_angles(n=20, seed=0)
+        with pytest.raises(ValueError):
+            solve_insertion(inst, GREEDY)
+
+    def test_empty(self):
+        inst = AngleInstance(
+            thetas=np.empty(0), demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert solve_insertion(inst, EXACT).value(inst) == 0.0
+
+    def test_single_cluster(self):
+        inst = AngleInstance(
+            thetas=np.array([0.1, 0.2, 0.3]),
+            demands=np.ones(3),
+            antennas=(AntennaSpec(rho=1.0, capacity=5.0),),
+        )
+        sol = solve_insertion(inst, EXACT)
+        sol.verify(inst, require_disjoint=True)
+        assert sol.value(inst) == pytest.approx(3.0)
+
+    def test_two_separated_clusters(self):
+        thetas = np.concatenate([np.linspace(0, 0.2, 4), np.linspace(3, 3.2, 4)])
+        inst = AngleInstance(
+            thetas=thetas,
+            demands=np.ones(8),
+            antennas=tuple(AntennaSpec(rho=0.5, capacity=10.0) for _ in range(2)),
+        )
+        sol = solve_insertion(inst, EXACT)
+        sol.verify(inst, require_disjoint=True)
+        assert sol.value(inst) == pytest.approx(8.0)
+
+    def test_never_uses_more_than_k(self):
+        inst = gen.uniform_angles(n=40, k=2, seed=1)
+        sol = solve_insertion(inst, GREEDY)
+        active = {int(j) for j in sol.assignment if j >= 0}
+        assert len(active) <= 2
+
+
+class TestInsertionVsDp:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_disjoint_and_bounded_by_dp(self, seed):
+        inst = gen.clustered_angles(n=30, k=3, seed=seed)
+        ins = solve_insertion(inst, EXACT, boundary_fill=False)
+        ins.verify(inst, require_disjoint=True)
+        dp = solve_non_overlapping_dp(inst, EXACT, boundary_fill=False).value(inst)
+        assert ins.value(inst) <= dp + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tracks_dp_closely_on_random_families(self, seed):
+        inst = gen.clustered_angles(n=30, k=3, seed=seed)
+        ins = solve_insertion(inst, EXACT).value(inst)
+        dp = solve_non_overlapping_dp(inst, EXACT).value(inst)
+        if dp > 0:
+            assert ins >= 0.6 * dp  # loose empirical floor, see ablation A4
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(st.floats(min_value=0, max_value=TWO_PI - 1e-9),
+                 min_size=1, max_size=12),
+        st.floats(min_value=0.3, max_value=2.0),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_property_feasible(self, thetas, rho, k):
+        thetas = np.array(thetas)
+        inst = AngleInstance(
+            thetas=thetas,
+            demands=np.ones(thetas.size),
+            antennas=tuple(
+                AntennaSpec(rho=rho, capacity=2.5) for _ in range(k)
+            ),
+        )
+        sol = solve_insertion(inst, EXACT)
+        assert sol.violations(inst, require_disjoint=True) == []

@@ -1,0 +1,205 @@
+"""Tests for the LP relaxation, rounding, flow assignment, and bounds."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance
+from repro.model import generators as gen
+from repro.packing.bounds import (
+    capacity_upper_bound,
+    combined_upper_bound,
+    fractional_rotation_upper_bound,
+)
+from repro.packing.exact import solve_exact_angle
+from repro.packing.flow import covered_matrix, solve_splittable, splittable_value
+from repro.packing.lp import lp_upper_bound, solve_lp_relaxation, solve_lp_rounding
+from repro.packing.multi import solve_greedy_multi
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+
+
+def small_instance(seed, n=7, k=2):
+    rng = np.random.default_rng(seed)
+    rho = float(rng.uniform(0.5, 2.5))
+    demands = rng.uniform(0.3, 2.0, n)
+    cap = 0.4 * demands.sum()
+    return AngleInstance(
+        thetas=rng.uniform(0, TWO_PI, n),
+        demands=demands,
+        antennas=tuple(AntennaSpec(rho=rho, capacity=cap) for _ in range(k)),
+    )
+
+
+class TestCoveredMatrix:
+    def test_values(self):
+        inst = AngleInstance(
+            thetas=np.array([0.5, 2.0]),
+            demands=np.ones(2),
+            antennas=(
+                AntennaSpec(rho=1.0, capacity=1.0),
+                AntennaSpec(rho=1.0, capacity=1.0),
+            ),
+        )
+        m = covered_matrix(inst, [0.0, 1.5])
+        assert m.tolist() == [[True, False], [False, True]]
+
+    def test_shape_validation(self):
+        inst = small_instance(0)
+        with pytest.raises(ValueError):
+            covered_matrix(inst, [0.0])
+
+
+class TestFlow:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_splittable_upper_bounds_exact_fixed(self, seed):
+        inst = small_instance(seed)
+        rng = np.random.default_rng(seed)
+        ori = rng.uniform(0, TWO_PI, inst.k)
+        from repro.packing.exact import solve_exact_fixed_orientations
+
+        integral = solve_exact_fixed_orientations(inst, ori).value(inst)
+        split = splittable_value(inst, ori)
+        assert split >= integral - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_flow_matches_lp_path(self, seed):
+        # profit == demand: the max-flow and LP paths agree
+        inst = small_instance(seed)
+        ori = np.zeros(inst.k)
+        f1 = solve_splittable(inst, ori, force_lp=False)
+        f2 = solve_splittable(inst, ori, force_lp=True)
+        f1.verify(inst)
+        f2.verify(inst)
+        assert f1.value(inst) == pytest.approx(f2.value(inst), abs=1e-6)
+
+    def test_general_profits_lp(self):
+        rng = np.random.default_rng(1)
+        inst = AngleInstance(
+            thetas=rng.uniform(0, TWO_PI, 8),
+            demands=rng.uniform(0.5, 2.0, 8),
+            profits=rng.uniform(0.5, 4.0, 8),
+            antennas=(AntennaSpec(rho=2.0, capacity=3.0),),
+        )
+        sol = solve_splittable(inst, [1.0])
+        sol.verify(inst)
+
+    def test_empty_instance(self):
+        inst = AngleInstance(
+            thetas=np.empty(0),
+            demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        sol = solve_splittable(inst, [0.0])
+        assert sol.value(inst) == 0.0
+
+    def test_splittable_saturates_capacity(self):
+        inst = AngleInstance(
+            thetas=np.array([0.1, 0.2, 0.3]),
+            demands=np.array([2.0, 2.0, 2.0]),
+            antennas=(AntennaSpec(rho=1.0, capacity=3.0),),
+        )
+        assert splittable_value(inst, [0.0]) == pytest.approx(3.0)
+
+
+class TestLpBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_upper_bounds_opt(self, seed):
+        inst = small_instance(seed)
+        opt = solve_exact_angle(inst).value(inst)
+        assert lp_upper_bound(inst) >= opt - 1e-6
+
+    def test_tighten_never_increases(self):
+        inst = small_instance(3)
+        loose = lp_upper_bound(inst, tighten=False)
+        tight = lp_upper_bound(inst, tighten=True)
+        assert tight <= loose + 1e-6
+
+    def test_relaxation_returns_distributions(self):
+        inst = small_instance(0)
+        value, y, cands = solve_lp_relaxation(inst)
+        assert len(y) == inst.k
+        for j, yj in enumerate(y):
+            assert len(yj) == len(cands[j])
+            assert yj.sum() <= 1.0 + 1e-6
+
+    def test_empty_instance(self):
+        inst = AngleInstance(
+            thetas=np.empty(0),
+            demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert lp_upper_bound(inst) == 0.0
+
+
+class TestLpRounding:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible_and_half_reasonable(self, seed):
+        inst = small_instance(seed)
+        sol = solve_lp_rounding(inst, EXACT, rounds=10, seed=seed)
+        sol.verify(inst)
+        opt = solve_exact_angle(inst).value(inst)
+        # no formal guarantee claimed, but it should never be terrible here
+        assert sol.value(inst) >= 0.3 * opt - 1e-9
+
+    def test_max_candidates_subsampling(self):
+        inst = gen.uniform_angles(n=30, k=2, seed=0)
+        sol = solve_lp_rounding(inst, GREEDY, rounds=3, max_candidates=5)
+        sol.verify(inst)
+
+    def test_deterministic_with_seed(self):
+        inst = small_instance(2)
+        a = solve_lp_rounding(inst, EXACT, rounds=5, seed=7)
+        b = solve_lp_rounding(inst, EXACT, rounds=5, seed=7)
+        assert a.value(inst) == b.value(inst)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_bounds_above_opt(self, seed):
+        inst = small_instance(seed)
+        opt = solve_exact_angle(inst).value(inst)
+        assert capacity_upper_bound(inst) >= opt - 1e-9
+        assert fractional_rotation_upper_bound(inst) >= opt - 1e-9
+        assert combined_upper_bound(inst) >= opt - 1e-9
+        assert combined_upper_bound(inst, use_lp=True) >= opt - 1e-6
+
+    def test_combined_is_min(self):
+        inst = small_instance(1)
+        c = combined_upper_bound(inst)
+        assert c <= capacity_upper_bound(inst) + 1e-12
+        assert c <= fractional_rotation_upper_bound(inst) + 1e-12
+        assert c <= inst.total_profit + 1e-12
+
+    def test_capacity_bound_profit_demand(self):
+        inst = small_instance(0)
+        expected = min(inst.total_demand, float(sum(a.capacity for a in inst.antennas)))
+        assert capacity_upper_bound(inst) == pytest.approx(expected)
+
+    def test_empty(self):
+        inst = AngleInstance(
+            thetas=np.empty(0),
+            demands=np.empty(0),
+            antennas=(AntennaSpec(rho=1.0, capacity=1.0),),
+        )
+        assert capacity_upper_bound(inst) == 0.0
+        assert combined_upper_bound(inst) == 0.0
+
+    def test_fractional_bound_tighter_for_narrow_antennas(self):
+        # narrow rho: geometry limits reach; fractional bound should bite
+        inst = gen.clustered_angles(n=40, k=2, rho=0.1, capacity_fraction=0.5, seed=5)
+        frac = fractional_rotation_upper_bound(inst)
+        cap = capacity_upper_bound(inst)
+        assert frac <= cap + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_greedy_clears_guarantee_vs_bound(self, seed):
+        # end-to-end certification pattern used by the benchmarks
+        inst = gen.uniform_angles(n=30, k=2, seed=seed)
+        sol = solve_greedy_multi(inst, EXACT)
+        ub = combined_upper_bound(inst)
+        assert sol.value(inst) >= 0.5 * sol.value(inst)  # sanity
+        assert sol.value(inst) <= ub + 1e-9

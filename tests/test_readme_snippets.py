@@ -1,0 +1,27 @@
+"""The README's code blocks must actually run (documentation tests)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_examples():
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("idx", range(len(python_blocks())))
+def test_readme_block_executes(idx, capsys):
+    code = python_blocks()[idx]
+    namespace: dict = {}
+    exec(compile(code, f"README.md#block{idx}", "exec"), namespace)  # noqa: S102
+    # The quickstart block prints results; anything it defined must be sane.
+    out = capsys.readouterr().out
+    assert "Traceback" not in out
