@@ -1,0 +1,62 @@
+"""Observability overhead — the disabled-tracing tax on hot solves.
+
+The telemetry contract (docs/OBSERVABILITY.md) promises that metrics are
+cheap enough to stay always-on and that tracing is a strict no-op when
+disabled.  These benchmarks put a number on both claims against the E2
+workload: ``solve_greedy_multi`` on clustered instances, where the
+per-window loop is the hottest path the registry touches.
+
+Pass/fail is intentionally loose here (benchmarks are for measurement);
+the hard assertion is only that enabling tracing does not change solver
+results.
+"""
+
+import pytest
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.obs import disable_tracing, drain_events, enable_tracing, trace_enabled
+from repro.packing.multi import solve_greedy_multi
+
+SIZES = [100, 400]
+GREEDY = get_solver("greedy")
+
+
+def _instance(n):
+    return gen.clustered_angles(n=n, k=3, seed=11)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_obs_overhead_tracing_disabled(benchmark, n):
+    """Baseline: metrics on (always), tracing off (default)."""
+    inst = _instance(n)
+    assert not trace_enabled()
+    value = benchmark(lambda: solve_greedy_multi(inst, GREEDY).value(inst))
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_obs_overhead_tracing_enabled(benchmark, n):
+    """Tracing on, buffered in memory (no sink I/O)."""
+    inst = _instance(n)
+    enable_tracing()
+    try:
+        value = benchmark(lambda: solve_greedy_multi(inst, GREEDY).value(inst))
+    finally:
+        disable_tracing()
+        drain_events()
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_obs_tracing_does_not_change_results(n):
+    inst = _instance(n)
+    base = solve_greedy_multi(inst, GREEDY).value(inst)
+    enable_tracing()
+    try:
+        traced = solve_greedy_multi(inst, GREEDY).value(inst)
+        events = drain_events()
+    finally:
+        disable_tracing()
+    assert traced == base
+    assert any(e["name"] == "solver.greedy_multi" for e in events)

@@ -1,0 +1,84 @@
+"""Standalone bench-harness entry point (thin wrapper over ``repro.obs.bench``).
+
+The canonical way to produce a ``BENCH_<tag>.json`` is the CLI::
+
+    PYTHONPATH=src python -m repro bench --families uniform --n 60
+
+This module offers the same harness for scripting contexts where the full
+CLI is unwanted (CI steps, notebooks)::
+
+    PYTHONPATH=src python benchmarks/harness.py --families uniform,hotspot \
+        --n 80 --seeds 0,1 --output BENCH_local.json
+
+The emitted payload follows the frozen ``repro.bench`` schema documented
+field-by-field in docs/OBSERVABILITY.md; ``--check PATH`` validates an
+existing file against it and exits non-zero on mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="bench-harness",
+        description="Run the repro bench harness, write BENCH_<tag>.json",
+    )
+    p.add_argument("--families", default="uniform,clustered,hotspot",
+                   help="comma-separated instance families (angle or sector)")
+    p.add_argument("--n", type=int, default=60, help="customers per instance")
+    p.add_argument("--k", type=int, default=3, help="antennas per angle instance")
+    p.add_argument("--seeds", default="0", help="comma-separated seeds")
+    p.add_argument("--solvers",
+                   help="comma-separated solver subset (default: all applicable)")
+    p.add_argument("--eps", type=float, default=0.5,
+                   help="< 1 uses the FPTAS oracle at this eps; 1 = exact oracle "
+                        "(exact can blow up on continuous-weight families)")
+    p.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
+    p.add_argument("--output", help="output path (default BENCH_<tag>.json)")
+    p.add_argument("--check", metavar="PATH",
+                   help="validate an existing bench JSON instead of running")
+    return p
+
+
+def main(argv=None) -> int:
+    from repro.obs.bench import load_bench, run_bench, write_bench
+
+    args = build_parser().parse_args(argv)
+    if args.check:
+        try:
+            payload = load_bench(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"{args.check}: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.check}: valid repro.bench v{payload['schema_version']} "
+              f"({len(payload['runs'])} runs)")
+        return 0
+    families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    solvers = None
+    if args.solvers:
+        solvers = tuple(s.strip() for s in args.solvers.split(",") if s.strip())
+    try:
+        payload = run_bench(
+            families=families, n=args.n, k=args.k, seeds=seeds,
+            solvers=solvers, eps=args.eps, tag=args.tag,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    output = args.output or f"BENCH_{args.tag}.json"
+    write_bench(payload, output)
+    print(f"wrote {output}: {len(payload['runs'])} runs")
+    for solver, s in sorted(payload["summary"].items()):
+        print(f"  {solver:18s} mean ratio {s['mean_ratio_vs_bound']:.4f}  "
+              f"min {s['min_ratio_vs_bound']:.4f}  "
+              f"peak oracle calls {s['peak_oracle_calls']}  "
+              f"{s['total_wall_time_s']:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

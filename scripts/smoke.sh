@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 test suite + one tiny bench round-trip.
+#
+# Run from anywhere:  scripts/smoke.sh
+# The bench half exercises the full observability stack (metrics registry,
+# solver instrumentation, payload emission) and validates the emitted JSON
+# against the frozen repro.bench schema (docs/OBSERVABILITY.md).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== bench round-trip =="
+out="$(mktemp -d)/BENCH_smoke.json"
+trap 'rm -rf "$(dirname "$out")"' EXIT
+python -m repro bench --families uniform --n 50 --seeds 0 \
+    --solvers greedy,shifting --tag smoke --output "$out"
+python -m repro bench --check "$out"
+
+echo "smoke OK"

@@ -17,6 +17,10 @@ Subcommands
     Print instance statistics and an ASCII rendering.
 ``report``
     Regenerate the compact evaluation report (EXPERIMENTS.md headline rows).
+``bench``
+    Run the observability bench harness and write a schema-versioned
+    ``BENCH_<tag>.json`` (see docs/OBSERVABILITY.md), or validate one
+    with ``--check``.
 ``families``
     List the registered instance families and solver names.
 """
@@ -118,13 +122,21 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.obs import tracing
+
     inst = load_instance(args.instance)
+    trace_ctx = tracing(args.trace) if getattr(args, "trace", None) else nullcontext()
     start = time.perf_counter()
-    if isinstance(inst, AngleInstance):
-        sol = _solve_angle(inst, args.algorithm, args.eps)
-    else:
-        sol = _solve_sector(inst, args.algorithm, args.eps)
+    with trace_ctx:
+        if isinstance(inst, AngleInstance):
+            sol = _solve_angle(inst, args.algorithm, args.eps)
+        else:
+            sol = _solve_sector(inst, args.algorithm, args.eps)
     seconds = time.perf_counter() - start
+    if getattr(args, "trace", None):
+        print(f"trace events written to {args.trace}")
     sol.verify(inst)
     rows = [
         ["algorithm", args.algorithm],
@@ -266,6 +278,53 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import load_bench, run_bench, validate_bench, write_bench
+
+    if args.check:
+        try:
+            payload = load_bench(args.check)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"{args.check}: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.check}: valid repro.bench v{payload['schema_version']} "
+              f"({len(payload['runs'])} runs)")
+        return 0
+    families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    solvers = None
+    if args.solvers:
+        solvers = tuple(s.strip() for s in args.solvers.split(",") if s.strip())
+    try:
+        payload = run_bench(
+            families=families,
+            n=args.n,
+            k=args.k,
+            seeds=seeds,
+            solvers=solvers,
+            eps=args.eps,
+            tag=args.tag,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    output = args.output or f"BENCH_{args.tag}.json"
+    write_bench(payload, output)
+    rows = [
+        [solver, s["runs"], s["total_wall_time_s"], s["mean_ratio_vs_bound"],
+         s["min_ratio_vs_bound"], s["peak_oracle_calls"]]
+        for solver, s in sorted(payload["summary"].items())
+    ]
+    print(
+        format_table(
+            ["solver", "runs", "seconds", "mean ratio", "min ratio", "peak oracle"],
+            rows,
+            title=f"bench -> {output}",
+        )
+    )
+    return 0
+
+
 def cmd_families(args: argparse.Namespace) -> int:
     print("angle families:  " + ", ".join(sorted(gen.ANGLE_FAMILIES)))
     print("sector families: " + ", ".join(sorted(gen.SECTOR_FAMILIES)))
@@ -300,6 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--output", help="write the solution JSON here")
     s.add_argument("--render", action="store_true",
                    help="ASCII-render the solution (angle instances)")
+    s.add_argument("--trace", metavar="PATH",
+                   help="write structured span events (JSONL) to this file")
     s.set_defaults(fn=cmd_solve)
 
     c = sub.add_parser("compare", help="run the solver suite on an instance")
@@ -326,6 +387,23 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--quick", action="store_true",
                      help="skip the exact-solver experiments")
     rep.set_defaults(fn=cmd_report)
+
+    b = sub.add_parser("bench", help="run the bench harness, write BENCH_<tag>.json")
+    b.add_argument("--families", default="uniform,clustered,hotspot",
+                   help="comma-separated instance families (angle or sector)")
+    b.add_argument("--n", type=int, default=60, help="customers per instance")
+    b.add_argument("--k", type=int, default=3, help="antennas per angle instance")
+    b.add_argument("--seeds", default="0", help="comma-separated seeds")
+    b.add_argument("--solvers",
+                   help="comma-separated solver subset (default: all applicable)")
+    b.add_argument("--eps", type=float, default=0.5,
+                   help="< 1 uses the FPTAS oracle at this eps; 1 = exact oracle "
+                        "(exact can blow up on continuous-weight families)")
+    b.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
+    b.add_argument("--output", help="output path (default BENCH_<tag>.json)")
+    b.add_argument("--check", metavar="PATH",
+                   help="validate an existing bench JSON instead of running")
+    b.set_defaults(fn=cmd_bench)
 
     f = sub.add_parser("families", help="list families and algorithms")
     f.set_defaults(fn=cmd_families)

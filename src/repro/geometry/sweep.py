@@ -24,9 +24,15 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.geometry.angles import TWO_PI, normalize_angles
+from repro.obs.metrics import get_registry
 
 #: Tolerance for the closed right end of a window (matches Arc.contains).
 _WINDOW_EPS = 1e-12
+
+# Sweep telemetry: how many sweeps get built and how many canonical
+# windows they expose (contract: docs/OBSERVABILITY.md).
+_SWEEP_BUILDS = get_registry().counter("sweep.builds")
+_SWEEP_WINDOWS = get_registry().counter("sweep.windows")
 
 
 @dataclass(frozen=True)
@@ -105,6 +111,8 @@ class CircularSweep:
         #: rank_of_original[i] = position of original customer i in sorted order
         self.rank_of_original = np.empty(self.n, dtype=np.intp)
         self.rank_of_original[self.order] = np.arange(self.n)
+        _SWEEP_BUILDS.inc()
+        _SWEEP_WINDOWS.inc(self.n)
         if self.n == 0:
             self._lo = np.empty(0, dtype=np.intp)
             self._hi = np.empty(0, dtype=np.intp)

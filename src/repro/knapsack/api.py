@@ -2,13 +2,38 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 #: Relative tolerance accepted when verifying a result against capacity.
 _TOL = 1e-9
+
+# Always-on oracle telemetry (contract: docs/OBSERVABILITY.md).  Handles
+# are cached at import time; Registry.reset() zeroes them in place, so the
+# cache stays valid across reset/snapshot cycles.
+_REG = get_registry()
+_ORACLE_CALLS = _REG.counter("oracle.calls")
+_ORACLE_ITEMS = _REG.counter("oracle.items")
+_KIND_METRICS: Dict[str, tuple] = {}
+
+
+def _record_oracle(kind: str, n_items: int, seconds: float) -> None:
+    """Count one oracle call: total + per-kind counters and a timer."""
+    per = _KIND_METRICS.get(kind)
+    if per is None:
+        per = _KIND_METRICS[kind] = (
+            _REG.counter(f"oracle.calls.{kind}"),
+            _REG.timer(f"oracle.time.{kind}"),
+        )
+    _ORACLE_CALLS.inc()
+    _ORACLE_ITEMS.inc(n_items)
+    per[0].inc()
+    per[1].observe(seconds)
 
 
 def _fits(weight: float, remaining: float) -> bool:
@@ -121,7 +146,10 @@ class ExactKnapsack(KnapsackSolver):
     def solve(self, weights, profits, capacity: float) -> KnapsackResult:
         from repro.knapsack.exact import solve_exact_auto
 
-        return solve_exact_auto(weights, profits, capacity)
+        t0 = time.perf_counter()
+        res = solve_exact_auto(weights, profits, capacity)
+        _record_oracle("exact", int(np.size(weights)), time.perf_counter() - t0)
+        return res
 
 
 class FptasKnapsack(KnapsackSolver):
@@ -140,7 +168,10 @@ class FptasKnapsack(KnapsackSolver):
     def solve(self, weights, profits, capacity: float) -> KnapsackResult:
         from repro.knapsack.fptas import solve_fptas
 
-        return solve_fptas(weights, profits, capacity, eps=self.eps)
+        t0 = time.perf_counter()
+        res = solve_fptas(weights, profits, capacity, eps=self.eps)
+        _record_oracle("fptas", int(np.size(weights)), time.perf_counter() - t0)
+        return res
 
 
 class GreedyKnapsack(KnapsackSolver):
@@ -155,7 +186,10 @@ class GreedyKnapsack(KnapsackSolver):
     def solve(self, weights, profits, capacity: float) -> KnapsackResult:
         from repro.knapsack.greedy import solve_greedy
 
-        return solve_greedy(weights, profits, capacity)
+        t0 = time.perf_counter()
+        res = solve_greedy(weights, profits, capacity)
+        _record_oracle("greedy", int(np.size(weights)), time.perf_counter() - t0)
+        return res
 
 
 #: Registered solver factories.  ``fptas`` accepts an ``eps`` keyword.

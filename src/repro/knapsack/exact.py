@@ -15,9 +15,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.knapsack.api import KnapsackResult, _as_arrays
+from repro.obs.metrics import get_registry
 
 #: Refuse DP tables bigger than this many cells; fall back to B&B instead.
 _MAX_DP_CELLS = 50_000_000
+
+# Dispatch telemetry: which backend actually solved each exact call
+# (contract: docs/OBSERVABILITY.md).
+_REG = get_registry()
+_DISPATCH_INT_DP = _REG.counter("oracle.dispatch.integer_dp")
+_DISPATCH_PROFIT_DP = _REG.counter("oracle.dispatch.profit_dp")
+_DISPATCH_BB = _REG.counter("oracle.dispatch.branch_bound")
 
 
 def _is_integral(arr: np.ndarray) -> bool:
@@ -90,6 +98,7 @@ def solve_exact_auto(weights, profits, capacity: float) -> KnapsackResult:
         and _is_integral(w)
         and (w.size + 1) * (cap_int + 1) <= _MAX_DP_CELLS
     ):
+        _DISPATCH_INT_DP.inc()
         return solve_exact_integer(w, p, capacity)
     if w.size and _is_integral(p):
         from repro.knapsack.profit_dp import _MAX_DP_CELLS as _P_CELLS
@@ -97,7 +106,9 @@ def solve_exact_auto(weights, profits, capacity: float) -> KnapsackResult:
 
         P = int(np.round(p).sum())
         if (P + 1) * (w.size + 1) <= _P_CELLS:
+            _DISPATCH_PROFIT_DP.inc()
             return solve_exact_by_profit(w, p, capacity)
     from repro.knapsack.branch_bound import solve_branch_and_bound
 
+    _DISPATCH_BB.inc()
     return solve_branch_and_bound(w, p, capacity)

@@ -24,9 +24,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.knapsack.api import KnapsackResult, _as_arrays
+from repro.obs.metrics import get_registry
 
 #: Safety cap on DP cells (columns x items for the choice bitmap).
 _MAX_DP_CELLS = 80_000_000
+
+# FPTAS telemetry: scaled-table pressure and the best-single-item rescue
+# (contract: docs/OBSERVABILITY.md).
+_REG = get_registry()
+_DP_CELLS = _REG.counter("fptas.dp_cells")
+_SINGLE_FALLBACK = _REG.counter("fptas.single_item_fallback")
 
 
 def solve_fptas(weights, profits, capacity: float, eps: float = 0.1) -> KnapsackResult:
@@ -58,6 +65,7 @@ def solve_fptas(weights, profits, capacity: float, eps: float = 0.1) -> Knapsack
         raise ValueError(
             f"FPTAS table {m} x {Q} exceeds cap; increase eps (got {eps})"
         )
+    _DP_CELLS.inc((Q + 1) * (m + 1))
 
     INF = np.inf
     # dp[q] = minimum weight achieving scaled profit exactly q.
@@ -89,5 +97,6 @@ def solve_fptas(weights, profits, capacity: float, eps: float = 0.1) -> Knapsack
     # everything scales to zero; never return worse than that.
     best_single = idx[int(np.argmax(pf))]
     if p[best_single] > result.value:
+        _SINGLE_FALLBACK.inc()
         return KnapsackResult.of(np.array([best_single], dtype=np.intp), w, p)
     return result

@@ -1,0 +1,52 @@
+"""repro.obs — observability: structured tracing, metrics, bench harness.
+
+Three layers, one contract (``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — opt-in structured spans with a thread-safe
+  buffer and a JSONL sink; near-zero overhead while disabled.
+* :mod:`repro.obs.metrics` — always-on :class:`Counter` / :class:`Timer` /
+  :class:`Gauge` aggregates behind one process-wide :class:`Registry`;
+  the instrumented hot paths (knapsack oracles, the circular sweep, every
+  packing solver) report oracle-call counts, candidate-window counts, and
+  per-phase wall time through it.
+* :mod:`repro.obs.bench` — the ``repro-sectors bench`` harness: runs the
+  solver suite over generator families and emits the schema-versioned
+  ``BENCH_<tag>.json`` regression baseline.
+
+>>> from repro.obs import get_registry, span
+>>> reg = get_registry(); reg.reset()
+>>> with span("demo"):          # no-op unless tracing is enabled
+...     reg.counter("demo.calls").inc()
+>>> reg.snapshot()["demo.calls"]["value"]
+1
+"""
+
+from repro.obs.metrics import Counter, Gauge, Registry, Timer, get_registry
+from repro.obs.trace import (
+    disable_tracing,
+    drain_events,
+    enable_tracing,
+    event,
+    read_jsonl,
+    span,
+    trace_enabled,
+    tracing,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Registry",
+    "get_registry",
+    # tracing
+    "span",
+    "event",
+    "enable_tracing",
+    "disable_tracing",
+    "trace_enabled",
+    "tracing",
+    "drain_events",
+    "read_jsonl",
+]

@@ -1,0 +1,374 @@
+"""The regression-bench harness behind ``repro-sectors bench``.
+
+Runs the standard solver suite over registered generator families with the
+metrics registry reset around every solve, and emits a schema-versioned
+payload (``BENCH_<tag>.json``) that every future performance PR diffs
+against.  The payload schema is **frozen** and documented field-by-field in
+``docs/OBSERVABILITY.md``; :func:`validate_bench` enforces it (and is what
+``scripts/smoke.sh`` and the CLI ``--check`` flag run).
+
+The headline numbers per (family, n, k, seed, solver) run:
+
+* ``wall_time_s``   — one solve, wall clock;
+* ``value`` / ``upper_bound`` / ``ratio_vs_bound`` — measured quality
+  against the *proven* cheap bound (``combined_upper_bound`` for angle
+  instances, the capacity/density bound for sector instances), so ratios
+  are certified lower bounds on the true approximation ratio;
+* ``oracle_calls`` / ``candidate_windows`` — the oracle-pressure metrics
+  from :mod:`repro.obs.metrics`;
+* ``phases`` — per-phase wall time (every ``phase.*`` timer's total).
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.model.instance import AngleInstance
+from repro.obs.metrics import get_registry
+
+#: Frozen schema identifier; bump the version on any breaking field change.
+SCHEMA_NAME = "repro.bench"
+SCHEMA_VERSION = 1
+
+#: Solvers the default suite runs on angle instances (CLI algorithm names).
+DEFAULT_ANGLE_SOLVERS = ("greedy", "adaptive", "shifting", "dp-disjoint")
+
+#: Solvers the default suite runs on sector instances.
+DEFAULT_SECTOR_SOLVERS = ("sector-greedy", "sector-independent")
+
+#: Families the default suite sweeps.
+DEFAULT_FAMILIES = ("uniform", "clustered", "hotspot")
+
+
+def _angle_solver_table(oracle) -> Dict[str, Callable]:
+    from repro.packing import (
+        improve_solution,
+        solve_greedy_multi,
+        solve_lp_rounding,
+        solve_non_overlapping_dp,
+        solve_shifting,
+    )
+    from repro.packing.insertion import solve_insertion
+
+    return {
+        "greedy": lambda inst: solve_greedy_multi(inst, oracle),
+        "adaptive": lambda inst: solve_greedy_multi(inst, oracle, adaptive=True),
+        "greedy+ls": lambda inst: improve_solution(
+            inst, solve_greedy_multi(inst, oracle), oracle
+        ),
+        "dp-disjoint": lambda inst: solve_non_overlapping_dp(inst, oracle),
+        "shifting": lambda inst: solve_shifting(inst, oracle),
+        "insertion": lambda inst: solve_insertion(inst, oracle),
+        "lp-round": lambda inst: solve_lp_rounding(
+            inst, oracle, rounds=5, max_candidates=60
+        ),
+    }
+
+
+def _sector_solver_table(oracle) -> Dict[str, Callable]:
+    from repro.packing import solve_sector_greedy, solve_sector_independent
+
+    return {
+        "sector-greedy": lambda inst: solve_sector_greedy(inst, oracle),
+        "sector-independent": lambda inst: solve_sector_independent(inst, oracle),
+    }
+
+
+def _make_instance(family: str, n: int, k: int, seed: int):
+    """Build one instance, passing only the kwargs the generator accepts."""
+    if family in gen.ANGLE_FAMILIES:
+        factory = gen.ANGLE_FAMILIES[family]
+    elif family in gen.SECTOR_FAMILIES:
+        factory = gen.SECTOR_FAMILIES[family]
+    else:
+        raise ValueError(
+            f"unknown family {family!r}; available: "
+            f"{sorted(gen.ANGLE_FAMILIES) + sorted(gen.SECTOR_FAMILIES)}"
+        )
+    params = inspect.signature(factory).parameters
+    kwargs = {"seed": seed}
+    if "n" in params:
+        kwargs["n"] = n
+    if "k" in params:
+        kwargs["k"] = k
+    return factory(**kwargs)
+
+
+def _upper_bound(instance) -> float:
+    """A cheap proven upper bound for either instance kind."""
+    if isinstance(instance, AngleInstance):
+        from repro.packing.bounds import combined_upper_bound
+
+        return float(combined_upper_bound(instance))
+    # Sector analogue of capacity_upper_bound: any solution serves at most
+    # each antenna's capacity worth of demand at the best profit density.
+    if instance.n == 0:
+        return 0.0
+    density = float((instance.profits / instance.demands).max())
+    cap_total = float(
+        sum(spec.capacity for _, _, spec in instance.antenna_table())
+    )
+    return min(float(instance.total_profit), density * cap_total)
+
+
+def _phase_totals(snapshot: Dict[str, dict]) -> Dict[str, float]:
+    """Extract ``phase.* -> total seconds`` from a registry snapshot."""
+    return {
+        name[len("phase."):]: payload["total_s"]
+        for name, payload in snapshot.items()
+        if name.startswith("phase.") and payload["type"] == "timer"
+    }
+
+
+def run_bench(
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    n: int = 60,
+    k: int = 3,
+    seeds: Sequence[int] = (0,),
+    solvers: Optional[Sequence[str]] = None,
+    eps: float = 0.5,
+    tag: str = "pr1",
+) -> dict:
+    """Run the suite and return the schema-versioned bench payload.
+
+    ``solvers=None`` picks the default suite per instance kind; an explicit
+    list is validated against the solver tables.  ``eps < 1`` switches the
+    knapsack oracle from exact to the FPTAS at that ``eps``; the default is
+    the FPTAS at ``eps=0.5`` because the exact oracle's branch-and-bound
+    can explode on continuous-weight families at bench sizes.
+    """
+    if not families:
+        raise ValueError("no families given")
+    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
+    angle_table = _angle_solver_table(oracle)
+    sector_table = _sector_solver_table(oracle)
+    known = set(angle_table) | set(sector_table)
+    if solvers is not None:
+        unknown = sorted(set(solvers) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown solver(s) {unknown}; available: {sorted(known)}"
+            )
+
+    registry = get_registry()
+    runs: List[dict] = []
+    for family in families:
+        for seed in seeds:
+            instance = _make_instance(family, n=n, k=k, seed=int(seed))
+            is_angle = isinstance(instance, AngleInstance)
+            table = angle_table if is_angle else sector_table
+            if solvers is None:
+                names: Tuple[str, ...] = (
+                    DEFAULT_ANGLE_SOLVERS if is_angle else DEFAULT_SECTOR_SOLVERS
+                )
+            else:
+                names = tuple(s for s in solvers if s in table)
+            ub = _upper_bound(instance)
+            kk = instance.k if is_angle else instance.total_antennas
+            for name in names:
+                solve = table[name]
+                registry.reset()
+                t0 = time.perf_counter()
+                solution = solve(instance)
+                wall = time.perf_counter() - t0
+                solution.verify(instance)
+                snap = registry.snapshot()
+                value = float(solution.value(instance))
+                oracle_calls = snap.get("oracle.calls", {}).get("value", 0)
+                windows = snap.get("rotation.candidate_windows", {}).get("value", 0)
+                runs.append(
+                    {
+                        "family": family,
+                        "kind": "angle" if is_angle else "sector",
+                        "n": int(instance.n),
+                        "k": int(kk),
+                        "seed": int(seed),
+                        "solver": name,
+                        "wall_time_s": float(wall),
+                        "value": value,
+                        "upper_bound": float(ub),
+                        "ratio_vs_bound": float(value / ub) if ub > 0 else 1.0,
+                        "oracle_calls": int(oracle_calls),
+                        "candidate_windows": int(windows),
+                        "phases": _phase_totals(snap),
+                    }
+                )
+
+    summary: Dict[str, dict] = {}
+    for run in runs:
+        s = summary.setdefault(
+            run["solver"],
+            {
+                "runs": 0,
+                "total_wall_time_s": 0.0,
+                "mean_ratio_vs_bound": 0.0,
+                "min_ratio_vs_bound": float("inf"),
+                "peak_oracle_calls": 0,
+            },
+        )
+        s["runs"] += 1
+        s["total_wall_time_s"] += run["wall_time_s"]
+        s["mean_ratio_vs_bound"] += run["ratio_vs_bound"]
+        s["min_ratio_vs_bound"] = min(s["min_ratio_vs_bound"], run["ratio_vs_bound"])
+        s["peak_oracle_calls"] = max(s["peak_oracle_calls"], run["oracle_calls"])
+    for s in summary.values():
+        s["mean_ratio_vs_bound"] /= s["runs"]
+
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "tag": tag,
+        "created_unix": time.time(),
+        "config": {
+            "families": list(families),
+            "n": int(n),
+            "k": int(k),
+            "seeds": [int(s) for s in seeds],
+            "solvers": list(solvers) if solvers is not None else None,
+            "eps": float(eps),
+            "oracle": oracle.name,
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "runs": runs,
+        "summary": summary,
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation (the contract scripts/smoke.sh enforces)
+# ----------------------------------------------------------------------
+_RUN_FIELDS: Dict[str, type] = {
+    "family": str,
+    "kind": str,
+    "n": int,
+    "k": int,
+    "seed": int,
+    "solver": str,
+    "wall_time_s": float,
+    "value": float,
+    "upper_bound": float,
+    "ratio_vs_bound": float,
+    "oracle_calls": int,
+    "candidate_windows": int,
+    "phases": dict,
+}
+
+_SUMMARY_FIELDS: Dict[str, type] = {
+    "runs": int,
+    "total_wall_time_s": float,
+    "mean_ratio_vs_bound": float,
+    "min_ratio_vs_bound": float,
+    "peak_oracle_calls": int,
+}
+
+
+def _check(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(f"bench payload invalid: {msg}")
+
+
+def _check_fields(obj: dict, fields: Dict[str, type], where: str) -> None:
+    for field, typ in fields.items():
+        _check(field in obj, f"{where} missing field {field!r}")
+        val = obj[field]
+        if typ is float:
+            _check(
+                isinstance(val, (int, float)) and not isinstance(val, bool),
+                f"{where}.{field} must be a number, got {type(val).__name__}",
+            )
+        else:
+            _check(
+                isinstance(val, typ) and not (typ is int and isinstance(val, bool)),
+                f"{where}.{field} must be {typ.__name__}, got {type(val).__name__}",
+            )
+
+
+def validate_bench(payload: dict) -> dict:
+    """Validate a bench payload against the frozen schema; returns it.
+
+    Raises ``ValueError`` with a field-level message on the first
+    violation.  Checks: header identity and version, config/environment
+    presence, per-run field names, types and ranges (non-negative times
+    and counts, ``0 <= ratio_vs_bound <= 1 + 1e-6``, ``value <=
+    upper_bound`` within tolerance), and summary consistency with the runs.
+    """
+    _check(isinstance(payload, dict), "payload must be a JSON object")
+    _check(payload.get("schema") == SCHEMA_NAME,
+           f"schema must be {SCHEMA_NAME!r}, got {payload.get('schema')!r}")
+    _check(payload.get("schema_version") == SCHEMA_VERSION,
+           f"schema_version must be {SCHEMA_VERSION}")
+    _check(isinstance(payload.get("tag"), str) and payload["tag"],
+           "tag must be a non-empty string")
+    _check(isinstance(payload.get("created_unix"), (int, float)),
+           "created_unix must be a number")
+    _check(isinstance(payload.get("config"), dict), "config must be an object")
+    _check(isinstance(payload.get("environment"), dict),
+           "environment must be an object")
+    runs = payload.get("runs")
+    _check(isinstance(runs, list) and runs, "runs must be a non-empty list")
+    solvers_seen = set()
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        _check(isinstance(run, dict), f"{where} must be an object")
+        _check_fields(run, _RUN_FIELDS, where)
+        _check(run["kind"] in ("angle", "sector"),
+               f"{where}.kind must be 'angle' or 'sector'")
+        _check(run["wall_time_s"] >= 0.0, f"{where}.wall_time_s negative")
+        _check(run["oracle_calls"] >= 0, f"{where}.oracle_calls negative")
+        _check(run["candidate_windows"] >= 0,
+               f"{where}.candidate_windows negative")
+        _check(run["value"] >= 0.0, f"{where}.value negative")
+        _check(
+            run["value"] <= run["upper_bound"] * (1.0 + 1e-6) + 1e-9,
+            f"{where}.value exceeds its proven upper bound",
+        )
+        _check(
+            -1e-9 <= run["ratio_vs_bound"] <= 1.0 + 1e-6,
+            f"{where}.ratio_vs_bound outside [0, 1]",
+        )
+        for phase, seconds in run["phases"].items():
+            _check(
+                isinstance(phase, str)
+                and isinstance(seconds, (int, float))
+                and seconds >= 0.0,
+                f"{where}.phases[{phase!r}] must map to non-negative seconds",
+            )
+        solvers_seen.add(run["solver"])
+    summary = payload.get("summary")
+    _check(isinstance(summary, dict), "summary must be an object")
+    _check(
+        set(summary) == solvers_seen,
+        f"summary solvers {sorted(summary)} != run solvers {sorted(solvers_seen)}",
+    )
+    for name, s in summary.items():
+        _check_fields(s, _SUMMARY_FIELDS, f"summary[{name!r}]")
+        _check(s["runs"] > 0, f"summary[{name!r}].runs must be positive")
+    return payload
+
+
+def write_bench(payload: dict, path: str) -> str:
+    """Validate then write the payload as pretty JSON; returns the path."""
+    validate_bench(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict:
+    """Read and validate a bench JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_bench(json.load(fh))

@@ -1,0 +1,204 @@
+"""Always-on, zero-dependency metrics primitives.
+
+The contract (frozen in ``docs/OBSERVABILITY.md``):
+
+* Metrics are **always on** — they are cheap in-process aggregates (a
+  counter increment or a ``perf_counter`` subtraction), so the hot paths
+  update them unconditionally.  Structured *tracing*
+  (:mod:`repro.obs.trace`) is the opt-in, higher-overhead layer.
+* The process-wide :class:`Registry` (via :func:`get_registry`) owns every
+  metric.  :meth:`Registry.reset` **zeroes values in place** and keeps the
+  metric objects registered, so modules may cache handles at import time
+  (the hot-path idiom used throughout ``repro.packing``) and a
+  ``reset → run → snapshot`` cycle measures exactly one run.
+* :meth:`Registry.snapshot` returns plain JSON-safe dicts keyed by metric
+  name; the per-type payloads are part of the telemetry contract.
+
+Thread safety: every metric guards its state with its own lock; the
+registry guards its name table with another.  Uncontended lock acquisition
+costs ~100 ns, far below the cost of the knapsack-oracle calls these
+metrics count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Union
+
+__all__ = ["Counter", "Gauge", "Timer", "Registry", "get_registry"]
+
+
+class Counter:
+    """Monotonic counter: ``inc(n)``; reset to zero only via the registry."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        # acquire/release beats `with` by ~140 ns; this runs per oracle call.
+        self._lock.acquire()
+        self._value += n
+        self._lock.release()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _snapshot(self) -> dict:
+        return {"type": "counter", "value": int(self._value)}
+
+
+class Gauge:
+    """Last-write-wins scalar (e.g. "LP variables this solve")."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._lock.acquire()
+        self._value = float(value)
+        self._lock.release()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _snapshot(self) -> dict:
+        return {"type": "gauge", "value": float(self._value)}
+
+
+class _TimerContext:
+    """``with timer.time(): ...`` — observes the block's wall time."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.observe(time.perf_counter() - self._t0)
+        return False
+
+
+class Timer:
+    """Aggregating wall-time meter: count / total / min / max seconds."""
+
+    __slots__ = ("_lock", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        s = float(seconds)
+        self._lock.acquire()
+        self.count += 1
+        self.total_s += s
+        if s < self.min_s:
+            self.min_s = s
+        if s > self.max_s:
+            self.max_s = s
+        self._lock.release()
+
+    def time(self) -> _TimerContext:
+        return _TimerContext(self)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total_s = 0.0
+            self.min_s = float("inf")
+            self.max_s = 0.0
+
+    def _snapshot(self) -> dict:
+        count = self.count
+        return {
+            "type": "timer",
+            "count": int(count),
+            "total_s": float(self.total_s),
+            "min_s": float(self.min_s) if count else 0.0,
+            "max_s": float(self.max_s),
+            "mean_s": float(self.total_s / count) if count else 0.0,
+        }
+
+
+Metric = Union[Counter, Gauge, Timer]
+
+
+class Registry:
+    """Named metric table with get-or-create accessors.
+
+    ``counter(name)`` / ``gauge(name)`` / ``timer(name)`` return the
+    existing metric or register a fresh one; asking for a name that exists
+    under a *different* type raises ``TypeError`` (names are contractual,
+    see ``docs/OBSERVABILITY.md``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls) -> Metric:
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls()
+            elif not isinstance(m, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(m).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)  # type: ignore[return-value]
+
+    def reset(self) -> None:
+        """Zero every metric *in place* (registrations and handles survive)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for m in metrics:
+            m._reset()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-safe ``{name: payload}`` of every registered metric."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: m._snapshot() for name, m in sorted(items)}
+
+
+#: The process-wide registry every instrumented module writes to.
+_REGISTRY = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-wide :class:`Registry` (one per interpreter)."""
+    return _REGISTRY

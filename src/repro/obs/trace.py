@@ -1,0 +1,289 @@
+"""Zero-dependency structured-event tracer.
+
+Design goals (the telemetry contract lives in ``docs/OBSERVABILITY.md``):
+
+* **Near-zero overhead when disabled.**  :func:`span` checks one module
+  flag and returns a shared no-op singleton — no object allocation, no
+  clock read.  Tracing is *off* by default; the hot paths stay within the
+  <5 % overhead budget measured by ``benchmarks/bench_obs_overhead.py``.
+* **Structured spans, not log lines.**  A span records name, wall-clock
+  start, duration, nesting depth, parent span id, thread id, outcome, and
+  free-form JSON-safe attributes.  Nesting is tracked per thread with a
+  thread-local stack, so concurrent solves interleave correctly.
+* **Two sinks.**  Completed spans land in a bounded in-memory buffer
+  (drained with :func:`drain_events`) and, when a path or file object was
+  given to :func:`enable_tracing`, are appended as one JSON line each —
+  the JSONL stream round-trips through :func:`read_jsonl`.
+
+Typical use::
+
+    from repro.obs import tracing, span
+
+    with tracing("solve.trace.jsonl"):
+        with span("my.phase", n=1000) as sp:
+            ...
+            sp.set(value=result)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Any, Dict, List, Optional, Union
+
+__all__ = [
+    "span",
+    "event",
+    "enable_tracing",
+    "disable_tracing",
+    "trace_enabled",
+    "tracing",
+    "drain_events",
+    "read_jsonl",
+]
+
+_lock = threading.RLock()
+_tls = threading.local()
+
+#: Spans silently dropped (and counted) beyond this many buffered events.
+_DEFAULT_MAX_BUFFER = 100_000
+
+
+class _State:
+    __slots__ = ("enabled", "buffer", "max_buffer", "dropped", "sink",
+                 "owns_sink", "next_id")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.buffer: List[dict] = []
+        self.max_buffer = _DEFAULT_MAX_BUFFER
+        self.dropped = 0
+        self.sink: Optional[IO[str]] = None
+        self.owns_sink = False
+        self.next_id = 1
+
+
+_STATE = _State()
+
+
+def _stack() -> list:
+    st = getattr(_tls, "stack", None)
+    if st is None:
+        st = _tls.stack = []
+    return st
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce attribute values to JSON-serializable equivalents."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    # numpy scalars expose .item(); anything else degrades to repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def _record(ev: dict) -> None:
+    with _lock:
+        if not _STATE.enabled:
+            return
+        if len(_STATE.buffer) < _STATE.max_buffer:
+            _STATE.buffer.append(ev)
+        else:
+            _STATE.dropped += 1
+        if _STATE.sink is not None:
+            _STATE.sink.write(json.dumps(ev, separators=(",", ":")) + "\n")
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live traced span; use via ``with span(name, **attrs) as sp:``."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth",
+                 "_t0", "_ts")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        with _lock:
+            self.span_id = _STATE.next_id
+            _STATE.next_id += 1
+        stack = _stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+            self.depth = len(stack)
+        stack.append(self)
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        _record(
+            {
+                "type": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "depth": self.depth,
+                "thread": threading.get_ident(),
+                "ts_unix": self._ts,
+                "duration_s": duration,
+                "status": "error" if exc_type is not None else "ok",
+                "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
+            }
+        )
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a traced span; returns the shared no-op when tracing is off.
+
+    The disabled path is a single attribute read plus the kwargs dict —
+    cheap enough for per-solve and per-phase call sites (per-item inner
+    loops should aggregate into metrics instead; see the contract doc).
+    """
+    if not _STATE.enabled:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time event (no duration) under the current span."""
+    if not _STATE.enabled:
+        return
+    stack = _stack()
+    with _lock:
+        span_id = _STATE.next_id
+        _STATE.next_id += 1
+    _record(
+        {
+            "type": "event",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": stack[-1].span_id if stack else None,
+            "depth": len(stack),
+            "thread": threading.get_ident(),
+            "ts_unix": time.time(),
+            "attrs": {k: _json_safe(v) for k, v in attrs.items()},
+        }
+    )
+
+
+def enable_tracing(
+    sink: Union[str, IO[str], None] = None,
+    max_buffer: int = _DEFAULT_MAX_BUFFER,
+) -> None:
+    """Turn tracing on, optionally teeing completed spans to a JSONL sink.
+
+    ``sink`` may be a path (opened for append, closed by
+    :func:`disable_tracing`) or an open text file object (left open).
+    Re-enabling replaces the sink and clears the buffer.
+    """
+    with _lock:
+        _close_sink()
+        if isinstance(sink, str):
+            _STATE.sink = open(sink, "a", encoding="utf-8")
+            _STATE.owns_sink = True
+        else:
+            _STATE.sink = sink
+            _STATE.owns_sink = False
+        _STATE.buffer = []
+        _STATE.dropped = 0
+        _STATE.max_buffer = int(max_buffer)
+        _STATE.enabled = True
+
+
+def _close_sink() -> None:
+    if _STATE.sink is not None:
+        _STATE.sink.flush()
+        if _STATE.owns_sink:
+            _STATE.sink.close()
+        _STATE.sink = None
+        _STATE.owns_sink = False
+
+
+def disable_tracing() -> None:
+    """Turn tracing off and flush/close any owned sink (idempotent)."""
+    with _lock:
+        _STATE.enabled = False
+        _close_sink()
+
+
+def trace_enabled() -> bool:
+    """True while tracing is on."""
+    return _STATE.enabled
+
+
+def drain_events() -> List[dict]:
+    """Return and clear the in-memory event buffer."""
+    with _lock:
+        out, _STATE.buffer = _STATE.buffer, []
+        return out
+
+
+class tracing:
+    """Context manager form: ``with tracing("out.jsonl"): ...``."""
+
+    def __init__(self, sink: Union[str, IO[str], None] = None,
+                 max_buffer: int = _DEFAULT_MAX_BUFFER):
+        self._sink = sink
+        self._max_buffer = max_buffer
+
+    def __enter__(self) -> "tracing":
+        enable_tracing(self._sink, max_buffer=self._max_buffer)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        disable_tracing()
+        return False
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Parse a JSONL trace file back into event dicts (blank lines skipped)."""
+    out: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

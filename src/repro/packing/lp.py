@@ -28,6 +28,7 @@ deterministic argmax-``y`` profile) is returned.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -38,7 +39,20 @@ from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.obs import span
+from repro.obs.metrics import get_registry
 from repro.packing.assignment import greedy_assignment_fixed
+
+# Solver-level telemetry (contract: docs/OBSERVABILITY.md).
+_REG = get_registry()
+_LP_TIMER = _REG.timer("solver.lp_rounding")
+_LP_CANDS = _REG.timer("phase.lp.candidates")
+_LP_BUILD = _REG.timer("phase.lp.build")
+_LP_SOLVE = _REG.timer("phase.lp.solve")
+_LP_ROUND = _REG.timer("phase.lp.rounding")
+_LP_VARS = _REG.gauge("lp.variables")
+_LP_ROWS = _REG.gauge("lp.rows")
+_LP_SAMPLES = _REG.counter("lp.rounding_samples")
 
 
 def _candidates(
@@ -82,10 +96,12 @@ def solve_lp_relaxation(
     slower); the untightened LP is already a valid upper bound.
     """
     n, k = instance.n, instance.k
-    cands = _candidates(instance, max_candidates)
+    with _LP_CANDS.time():
+        cands = _candidates(instance, max_candidates)
     if n == 0:
         return 0.0, [np.zeros(len(c)) for c in cands], cands
 
+    t_build = time.perf_counter()
     # Variable layout: all y first, then all x.
     y_offset: List[int] = []
     nv_y = 0
@@ -149,9 +165,13 @@ def solve_lp_relaxation(
             row_id += 1
 
     A = sp.csr_matrix((vals, (rows, cols)), shape=(row_id, nv))
-    res = linprog(
-        c_obj, A_ub=A, b_ub=np.asarray(b), bounds=(0.0, 1.0), method="highs"
-    )
+    _LP_BUILD.observe(time.perf_counter() - t_build)
+    _LP_VARS.set(nv)
+    _LP_ROWS.set(row_id)
+    with _LP_SOLVE.time():
+        res = linprog(
+            c_obj, A_ub=A, b_ub=np.asarray(b), bounds=(0.0, 1.0), method="highs"
+        )
     if not res.success:  # pragma: no cover - HiGHS is robust on these LPs
         raise RuntimeError(f"orientation LP failed: {res.message}")
     y = [
@@ -182,33 +202,43 @@ def solve_lp_rounding(
     packer.  The deterministic argmax-``y`` profile is always evaluated
     too, so the result never depends solely on luck.
     """
-    _, y, cands = solve_lp_relaxation(instance, max_candidates, tighten)
-    rng = np.random.default_rng(seed)
-    k = instance.k
+    t0 = time.perf_counter()
+    with span("solver.lp_rounding", n=int(instance.n), k=int(instance.k),
+              rounds=int(rounds)) as spn:
+        _, y, cands = solve_lp_relaxation(instance, max_candidates, tighten)
+        rng = np.random.default_rng(seed)
+        k = instance.k
 
-    def profile_to_solution(choice: List[int]) -> AngleSolution:
-        orientations = np.array(
-            [cands[j][choice[j]][0] for j in range(k)], dtype=np.float64
+        def profile_to_solution(choice: List[int]) -> AngleSolution:
+            orientations = np.array(
+                [cands[j][choice[j]][0] for j in range(k)], dtype=np.float64
+            )
+            return greedy_assignment_fixed(instance, orientations, oracle)
+
+        t_round = time.perf_counter()
+        best = profile_to_solution(
+            [int(np.argmax(yj)) if yj.size else 0 for yj in y]
         )
-        return greedy_assignment_fixed(instance, orientations, oracle)
-
-    best = profile_to_solution([int(np.argmax(yj)) if yj.size else 0 for yj in y])
-    best_value = best.value(instance)
-    for _ in range(rounds):
-        choice = []
-        for j in range(k):
-            yj = y[j]
-            if yj.size == 0:
-                choice.append(0)
-                continue
-            total = float(yj.sum())
-            if total <= 1e-12:
-                choice.append(int(rng.integers(len(yj))))
-                continue
-            probs = yj / total
-            choice.append(int(rng.choice(len(yj), p=probs)))
-        sol = profile_to_solution(choice)
-        v = sol.value(instance)
-        if v > best_value:
-            best, best_value = sol, v
+        best_value = best.value(instance)
+        for _ in range(rounds):
+            choice = []
+            for j in range(k):
+                yj = y[j]
+                if yj.size == 0:
+                    choice.append(0)
+                    continue
+                total = float(yj.sum())
+                if total <= 1e-12:
+                    choice.append(int(rng.integers(len(yj))))
+                    continue
+                probs = yj / total
+                choice.append(int(rng.choice(len(yj), p=probs)))
+            sol = profile_to_solution(choice)
+            v = sol.value(instance)
+            if v > best_value:
+                best, best_value = sol, v
+        _LP_ROUND.observe(time.perf_counter() - t_round)
+        _LP_SAMPLES.inc(rounds)
+        spn.set(value=float(best_value))
+    _LP_TIMER.observe(time.perf_counter() - t0)
     return best

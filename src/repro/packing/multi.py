@@ -31,6 +31,7 @@ heterogeneous antennas it tracks a bitmask of used antennas
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,8 +41,19 @@ from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.obs import span
+from repro.obs.metrics import get_registry
 from repro.packing.canonical import rotation_candidates
 from repro.packing.single import best_rotation
+
+# Solver-level telemetry (contract: docs/OBSERVABILITY.md).
+_REG = get_registry()
+_GM_TIMER = _REG.timer("solver.greedy_multi")
+_GM_ROUNDS = _REG.counter("solver.greedy_multi.rounds")
+_DP_TIMER = _REG.timer("solver.non_overlapping_dp")
+_DP_TABLES = _REG.timer("phase.dp.profit_tables")
+_DP_SEARCH = _REG.timer("phase.dp.search")
+_DP_ASSEMBLE = _REG.timer("phase.dp.assemble")
 
 
 def solve_greedy_multi(
@@ -66,6 +78,7 @@ def solve_greedy_multi(
         Explicit processing order for the non-adaptive mode.
     """
     n, k = instance.n, instance.k
+    t0 = time.perf_counter()
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(k, dtype=np.float64)
     remaining = np.ones(n, dtype=bool)
@@ -88,29 +101,37 @@ def solve_greedy_multi(
         )
         return out, idx
 
-    if not adaptive:
-        for j in antenna_order:
-            out, idx = run_rotation(j)
-            chosen = idx[out.selected]
-            assignment[chosen] = j
-            orientations[j] = out.alpha
-            remaining[chosen] = False
-    else:
-        unused = set(range(k))
-        while unused:
-            best_j, best_out, best_idx = -1, None, None
-            for j in sorted(unused):
+    rounds = 0
+    with span("solver.greedy_multi", n=int(n), k=int(k),
+              adaptive=bool(adaptive)) as sp:
+        if not adaptive:
+            for j in antenna_order:
                 out, idx = run_rotation(j)
-                if best_out is None or out.value > best_out.value:
-                    best_j, best_out, best_idx = j, out, idx
-            assert best_out is not None and best_idx is not None
-            if best_out.value <= 0.0:
-                break  # nothing left worth serving
-            chosen = best_idx[best_out.selected]
-            assignment[chosen] = best_j
-            orientations[best_j] = best_out.alpha
-            remaining[chosen] = False
-            unused.discard(best_j)
+                rounds += 1
+                chosen = idx[out.selected]
+                assignment[chosen] = j
+                orientations[j] = out.alpha
+                remaining[chosen] = False
+        else:
+            unused = set(range(k))
+            while unused:
+                best_j, best_out, best_idx = -1, None, None
+                for j in sorted(unused):
+                    out, idx = run_rotation(j)
+                    if best_out is None or out.value > best_out.value:
+                        best_j, best_out, best_idx = j, out, idx
+                assert best_out is not None and best_idx is not None
+                rounds += 1
+                if best_out.value <= 0.0:
+                    break  # nothing left worth serving
+                chosen = best_idx[best_out.selected]
+                assignment[chosen] = best_j
+                orientations[best_j] = best_out.alpha
+                remaining[chosen] = False
+                unused.discard(best_j)
+        sp.set(rounds=rounds)
+    _GM_ROUNDS.inc(rounds)
+    _GM_TIMER.observe(time.perf_counter() - t0)
     return AngleSolution(orientations=orientations, assignment=assignment)
 
 
@@ -188,68 +209,78 @@ def solve_non_overlapping_dp(
         candidates = rotation_candidates(instance.thetas, widths)
     candidates = np.sort(np.asarray(candidates, dtype=np.float64))
     m = candidates.size
-    prof_tab, pick_tab = _window_profit_tables(instance, candidates, oracle)
-    keys = [(a.rho, a.capacity) for a in instance.antennas]
-    uniform = len(set(keys)) == 1
+    t_solve = time.perf_counter()
+    with span("solver.non_overlapping_dp", n=int(n), k=int(k),
+              candidates=int(m)) as sp:
+        with _DP_TABLES.time():
+            prof_tab, pick_tab = _window_profit_tables(instance, candidates, oracle)
+        keys = [(a.rho, a.capacity) for a in instance.antennas]
+        uniform = len(set(keys)) == 1
+        t_search = time.perf_counter()
 
-    # Group antennas by spec: the DP only needs *how many* of each spec are
-    # still available, but for simplicity (and small k) we use a bitmask in
-    # the heterogeneous case and a counter in the uniform case.
-    best_total = -1.0
-    best_placements: List[Tuple[float, int]] = []  # (start, antenna)
+        # Group antennas by spec: the DP only needs *how many* of each spec are
+        # still available, but for simplicity (and small k) we use a bitmask in
+        # the heterogeneous case and a counter in the uniform case.
+        best_total = -1.0
+        best_placements: List[Tuple[float, int]] = []  # (start, antenna)
 
-    for f in range(m):
-        s0 = float(candidates[f])
-        # Linearize: offsets of every candidate from s0, ascending.
-        offs = np.array([ccw_delta(s0, float(c)) for c in candidates])
-        order = np.argsort(offs, kind="stable")
-        lin_starts = offs[order]  # lin_starts[0] == 0 (candidate f itself)
-        lin_ids = order
+        for f in range(m):
+            s0 = float(candidates[f])
+            # Linearize: offsets of every candidate from s0, ascending.
+            offs = np.array([ccw_delta(s0, float(c)) for c in candidates])
+            order = np.argsort(offs, kind="stable")
+            lin_starts = offs[order]  # lin_starts[0] == 0 (candidate f itself)
+            lin_ids = order
 
-        if uniform:
-            placements, total = _dp_uniform(
-                lin_starts, lin_ids, prof_tab[keys[0]], widths[0], k
-            )
-            if total > best_total and placements:
-                best_total = total
-                best_placements = [
-                    (float(candidates[cid]), j)
-                    for j, (pos, cid) in enumerate(placements)
-                ]
-        else:
-            placements, total = _dp_bitmask(
-                lin_starts, lin_ids, prof_tab, keys, widths
-            )
-            if total > best_total and placements:
-                best_total = total
-                best_placements = [
-                    (float(candidates[cid]), ant) for cid, ant in placements
-                ]
+            if uniform:
+                placements, total = _dp_uniform(
+                    lin_starts, lin_ids, prof_tab[keys[0]], widths[0], k
+                )
+                if total > best_total and placements:
+                    best_total = total
+                    best_placements = [
+                        (float(candidates[cid]), j)
+                        for j, (pos, cid) in enumerate(placements)
+                    ]
+            else:
+                placements, total = _dp_bitmask(
+                    lin_starts, lin_ids, prof_tab, keys, widths
+                )
+                if total > best_total and placements:
+                    best_total = total
+                    best_placements = [
+                        (float(candidates[cid]), ant) for cid, ant in placements
+                    ]
 
-    # Assemble the final assignment, deduplicating boundary customers.
-    assignment = np.full(n, -1, dtype=np.int64)
-    orientations = np.zeros(k, dtype=np.float64)
-    used_antennas = set()
-    taken = np.zeros(n, dtype=bool)
-    for start, j in best_placements:
-        spec = instance.antennas[j]
-        key = (spec.rho, spec.capacity)
-        c_id = int(np.searchsorted(candidates, start))
-        # float-safe lookup of the candidate id
-        if c_id >= m or not np.isclose(candidates[c_id], start, atol=1e-12):
-            c_id = int(np.argmin(np.abs(candidates - start)))
-        sel = pick_tab[key][c_id]
-        fresh = sel[~taken[sel]]
-        assignment[fresh] = j
-        taken[fresh] = True
-        orientations[j] = start
-        used_antennas.add(j)
-    if boundary_fill:
-        # Recover customers on the closed ends of active arcs that the
-        # half-open profit tables deliberately excluded (module docstring).
-        from repro.packing.local_search import fill_active_antennas
+        _DP_SEARCH.observe(time.perf_counter() - t_search)
+        t_assemble = time.perf_counter()
+        # Assemble the final assignment, deduplicating boundary customers.
+        assignment = np.full(n, -1, dtype=np.int64)
+        orientations = np.zeros(k, dtype=np.float64)
+        used_antennas = set()
+        taken = np.zeros(n, dtype=bool)
+        for start, j in best_placements:
+            spec = instance.antennas[j]
+            key = (spec.rho, spec.capacity)
+            c_id = int(np.searchsorted(candidates, start))
+            # float-safe lookup of the candidate id
+            if c_id >= m or not np.isclose(candidates[c_id], start, atol=1e-12):
+                c_id = int(np.argmin(np.abs(candidates - start)))
+            sel = pick_tab[key][c_id]
+            fresh = sel[~taken[sel]]
+            assignment[fresh] = j
+            taken[fresh] = True
+            orientations[j] = start
+            used_antennas.add(j)
+        if boundary_fill:
+            # Recover customers on the closed ends of active arcs that the
+            # half-open profit tables deliberately excluded (module docstring).
+            from repro.packing.local_search import fill_active_antennas
 
-        fill_active_antennas(instance, orientations, assignment)
+            fill_active_antennas(instance, orientations, assignment)
+        _DP_ASSEMBLE.observe(time.perf_counter() - t_assemble)
+        _DP_TIMER.observe(time.perf_counter() - t_solve)
+        sp.set(value=float(best_total), placements=len(best_placements))
     return AngleSolution(orientations=orientations, assignment=assignment)
 
 

@@ -22,6 +22,7 @@ solvers here lift the 1-D machinery through that reduction:
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -33,14 +34,24 @@ from repro.geometry.angles import angles_in_window
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance, SectorInstance
 from repro.model.solution import SectorSolution
+from repro.obs import span as obs_span
+from repro.obs.metrics import get_registry
 from repro.packing.multi import solve_greedy_multi
 from repro.packing.single import best_rotation
+
+# Solver-level telemetry (contract: docs/OBSERVABILITY.md).
+_REG = get_registry()
+_SG_TIMER = _REG.timer("solver.sector_greedy")
+_SG_ROUNDS = _REG.counter("solver.sector_greedy.rounds")
+_SI_TIMER = _REG.timer("solver.sector_independent")
+_ELIG_TIMER = _REG.timer("phase.sector.eligibility")
 
 
 def _eligibility(
     instance: SectorInstance,
 ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
     """Per global antenna: (eligible mask, relative thetas, relative radii)."""
+    t0 = time.perf_counter()
     masks: List[np.ndarray] = []
     thetas_per: List[np.ndarray] = []
     rs_per: List[np.ndarray] = []
@@ -52,6 +63,7 @@ def _eligibility(
         masks.append(rs <= spec.radius * (1.0 + 1e-12))
         thetas_per.append(thetas)
         rs_per.append(rs)
+    _ELIG_TIMER.observe(time.perf_counter() - t0)
     return masks, thetas_per, rs_per
 
 
@@ -210,6 +222,7 @@ def solve_sector_greedy(
     """
     n = instance.n
     K = instance.total_antennas
+    t0 = time.perf_counter()
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(K, dtype=np.float64)
     remaining = np.ones(n, dtype=bool)
@@ -229,30 +242,38 @@ def solve_sector_greedy(
         )
         return out, idx
 
-    if adaptive:
-        unused = set(range(K))
-        while unused:
-            best_g, best_out, best_idx = -1, None, None
-            for g in sorted(unused):
+    rounds = 0
+    with obs_span("solver.sector_greedy", n=int(n), antennas=int(K),
+                  adaptive=bool(adaptive)) as sp:
+        if adaptive:
+            unused = set(range(K))
+            while unused:
+                best_g, best_out, best_idx = -1, None, None
+                for g in sorted(unused):
+                    out, idx = run_rotation(g)
+                    if best_out is None or out.value > best_out.value:
+                        best_g, best_out, best_idx = g, out, idx
+                assert best_out is not None and best_idx is not None
+                rounds += 1
+                if best_out.value <= 0.0:
+                    break
+                chosen = best_idx[best_out.selected]
+                assignment[chosen] = best_g
+                orientations[best_g] = best_out.alpha
+                remaining[chosen] = False
+                unused.discard(best_g)
+        else:
+            order = sorted(range(K), key=lambda g: -table[g][2].capacity)
+            for g in order:
                 out, idx = run_rotation(g)
-                if best_out is None or out.value > best_out.value:
-                    best_g, best_out, best_idx = g, out, idx
-            assert best_out is not None and best_idx is not None
-            if best_out.value <= 0.0:
-                break
-            chosen = best_idx[best_out.selected]
-            assignment[chosen] = best_g
-            orientations[best_g] = best_out.alpha
-            remaining[chosen] = False
-            unused.discard(best_g)
-    else:
-        order = sorted(range(K), key=lambda g: -table[g][2].capacity)
-        for g in order:
-            out, idx = run_rotation(g)
-            chosen = idx[out.selected]
-            assignment[chosen] = g
-            orientations[g] = out.alpha
-            remaining[chosen] = False
+                rounds += 1
+                chosen = idx[out.selected]
+                assignment[chosen] = g
+                orientations[g] = out.alpha
+                remaining[chosen] = False
+        sp.set(rounds=rounds)
+    _SG_ROUNDS.inc(rounds)
+    _SG_TIMER.observe(time.perf_counter() - t0)
     return SectorSolution(orientations=orientations, assignment=assignment)
 
 
@@ -270,6 +291,7 @@ def solve_sector_independent(
     """
     n = instance.n
     K = instance.total_antennas
+    t0 = time.perf_counter()
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(K, dtype=np.float64)
     # Station of each customer: nearest reaching station or -1.
@@ -310,6 +332,7 @@ def solve_sector_independent(
         assignment[ok[served]] = np.array(
             [g_of[s_id][int(j)] for j in sol.assignment[served]], dtype=np.int64
         )
+    _SI_TIMER.observe(time.perf_counter() - t0)
     return SectorSolution(orientations=orientations, assignment=assignment)
 
 

@@ -26,6 +26,7 @@ measures this loss against the exact DP as ``t`` grows.
 
 from __future__ import annotations
 
+import time
 from typing import List, Tuple
 
 import numpy as np
@@ -35,6 +36,15 @@ from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.obs import span
+from repro.obs.metrics import get_registry
+
+# Solver-level telemetry (contract: docs/OBSERVABILITY.md).
+_REG = get_registry()
+_SH_TIMER = _REG.timer("solver.shifting")
+_SH_PRECOMPUTE = _REG.timer("phase.shifting.window_precompute")
+_SH_CUTS = _REG.timer("phase.shifting.cuts")
+_SH_CUTS_TRIED = _REG.counter("solver.shifting.cuts_tried")
 
 
 def solve_shifting(
@@ -62,76 +72,86 @@ def solve_shifting(
     spec = instance.antennas[0]
     rho = spec.rho
 
-    sweep = CircularSweep(instance.thetas, rho)
-    demand_sums = sweep.window_sums(instance.demands)
-    ids = sweep.unique_window_ids()
-    # Precompute oracle profit + selection per unique canonical window.
-    starts = np.empty(ids.size, dtype=np.float64)
-    values = np.empty(ids.size, dtype=np.float64)
-    picks: List[np.ndarray] = []
-    for a, wid in enumerate(ids):
-        w = sweep.window(int(wid))
-        cov = w.indices
-        starts[a] = w.start
-        if float(demand_sums[wid]) <= spec.capacity * (1.0 + 1e-12):
-            values[a] = float(instance.profits[cov].sum())
-            picks.append(cov.copy())
-        else:
-            res = oracle.solve(
-                instance.demands[cov], instance.profits[cov], spec.capacity
-            )
-            values[a] = res.value
-            picks.append(cov[res.selected])
+    t_solve = time.perf_counter()
+    with span("solver.shifting", n=int(n), k=int(k), t=int(t)) as sp:
+        t_pre = time.perf_counter()
+        sweep = CircularSweep(instance.thetas, rho)
+        demand_sums = sweep.window_sums(instance.demands)
+        ids = sweep.unique_window_ids()
+        # Precompute oracle profit + selection per unique canonical window.
+        starts = np.empty(ids.size, dtype=np.float64)
+        values = np.empty(ids.size, dtype=np.float64)
+        picks: List[np.ndarray] = []
+        for a, wid in enumerate(ids):
+            w = sweep.window(int(wid))
+            cov = w.indices
+            starts[a] = w.start
+            if float(demand_sums[wid]) <= spec.capacity * (1.0 + 1e-12):
+                values[a] = float(instance.profits[cov].sum())
+                picks.append(cov.copy())
+            else:
+                res = oracle.solve(
+                    instance.demands[cov], instance.profits[cov], spec.capacity
+                )
+                values[a] = res.value
+                picks.append(cov[res.selected])
+        _SH_PRECOMPUTE.observe(time.perf_counter() - t_pre)
 
-    best_value = -1.0
-    best_windows: List[int] = []
-    for s in range(t):
-        cut = s * TWO_PI / t
-        # Linearize window starts after the cut; keep windows that end
-        # before wrapping back past the cut.
-        offs = np.array([ccw_delta(cut, float(a)) for a in starts])
-        keep = offs + rho <= TWO_PI + 1e-12
-        if not keep.any():
-            continue
-        kept = np.flatnonzero(keep)
-        order = kept[np.argsort(offs[kept], kind="stable")]
-        lin = offs[order]
-        vals = values[order]
-        m = order.size
-        jump = np.searchsorted(lin, lin + rho - 1e-12, side="left")
-        # dp[c][i]: best profit from windows >= i using <= c windows.
-        dp = np.zeros((k + 1, m + 1), dtype=np.float64)
-        for c in range(1, k + 1):
-            for i in range(m - 1, -1, -1):
-                take = vals[i] + dp[c - 1, int(jump[i])] if vals[i] > 0 else -1.0
-                dp[c, i] = max(dp[c, i + 1], take)
-        total = float(dp[k, 0])
-        if total > best_value:
-            best_value = total
-            # Reconstruct.
-            chosen: List[int] = []
-            c, i = k, 0
-            while c > 0 and i < m:
-                take = vals[i] + dp[c - 1, int(jump[i])] if vals[i] > 0 else -1.0
-                if take >= dp[c, i + 1] and take == dp[c, i]:
-                    chosen.append(int(order[i]))
-                    i = int(jump[i])
-                    c -= 1
-                else:
-                    i += 1
-            best_windows = chosen
+        t_cuts = time.perf_counter()
+        best_value = -1.0
+        best_windows: List[int] = []
+        for s in range(t):
+            cut = s * TWO_PI / t
+            # Linearize window starts after the cut; keep windows that end
+            # before wrapping back past the cut.
+            offs = np.array([ccw_delta(cut, float(a)) for a in starts])
+            keep = offs + rho <= TWO_PI + 1e-12
+            if not keep.any():
+                continue
+            kept = np.flatnonzero(keep)
+            order = kept[np.argsort(offs[kept], kind="stable")]
+            lin = offs[order]
+            vals = values[order]
+            m = order.size
+            jump = np.searchsorted(lin, lin + rho - 1e-12, side="left")
+            # dp[c][i]: best profit from windows >= i using <= c windows.
+            dp = np.zeros((k + 1, m + 1), dtype=np.float64)
+            for c in range(1, k + 1):
+                for i in range(m - 1, -1, -1):
+                    take = vals[i] + dp[c - 1, int(jump[i])] if vals[i] > 0 else -1.0
+                    dp[c, i] = max(dp[c, i + 1], take)
+            total = float(dp[k, 0])
+            if total > best_value:
+                best_value = total
+                # Reconstruct.
+                chosen: List[int] = []
+                c, i = k, 0
+                while c > 0 and i < m:
+                    take = vals[i] + dp[c - 1, int(jump[i])] if vals[i] > 0 else -1.0
+                    if take >= dp[c, i + 1] and take == dp[c, i]:
+                        chosen.append(int(order[i]))
+                        i = int(jump[i])
+                        c -= 1
+                    else:
+                        i += 1
+                best_windows = chosen
 
-    assignment = np.full(n, -1, dtype=np.int64)
-    orientations = np.zeros(k, dtype=np.float64)
-    taken = np.zeros(n, dtype=bool)
-    for j, a in enumerate(best_windows):
-        sel = picks[a]
-        fresh = sel[~taken[sel]]
-        assignment[fresh] = j
-        taken[fresh] = True
-        orientations[j] = starts[a]
-    if boundary_fill:
-        from repro.packing.local_search import fill_active_antennas
+        _SH_CUTS.observe(time.perf_counter() - t_cuts)
+        _SH_CUTS_TRIED.inc(t)
 
-        fill_active_antennas(instance, orientations, assignment)
+        assignment = np.full(n, -1, dtype=np.int64)
+        orientations = np.zeros(k, dtype=np.float64)
+        taken = np.zeros(n, dtype=bool)
+        for j, a in enumerate(best_windows):
+            sel = picks[a]
+            fresh = sel[~taken[sel]]
+            assignment[fresh] = j
+            taken[fresh] = True
+            orientations[j] = starts[a]
+        if boundary_fill:
+            from repro.packing.local_search import fill_active_antennas
+
+            fill_active_antennas(instance, orientations, assignment)
+        _SH_TIMER.observe(time.perf_counter() - t_solve)
+        sp.set(windows=int(ids.size), value=float(best_value))
     return AngleSolution(orientations=orientations, assignment=assignment)

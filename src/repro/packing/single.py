@@ -24,6 +24,7 @@ result):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,6 +36,19 @@ from repro.knapsack.fractional import solve_fractional
 from repro.model.antenna import AntennaSpec
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution, FractionalSolution
+from repro.obs import span
+from repro.obs.metrics import get_registry
+
+# Rotation-search telemetry (contract: docs/OBSERVABILITY.md).  Per-window
+# work is aggregated locally and flushed once per search, so the inner
+# loop carries no metric traffic.
+_REG = get_registry()
+_ROT_SEARCHES = _REG.counter("rotation.searches")
+_ROT_CANDIDATES = _REG.counter("rotation.candidate_windows")
+_ROT_VISITED = _REG.counter("rotation.windows_visited")
+_ROT_PRUNED = _REG.counter("rotation.windows_pruned")
+_ROT_FASTPATH = _REG.counter("rotation.windows_fastpath")
+_ROT_TIMER = _REG.timer("phase.rotation")
 
 
 @dataclass(frozen=True)
@@ -82,37 +96,50 @@ def best_rotation(
     n = thetas.size
     if n == 0:
         return RotationOutcome.empty()
-    sweep = CircularSweep(thetas, spec.rho)
-    profit_sums = sweep.window_sums(profits)
-    demand_sums = sweep.window_sums(demands)
-    ids = sweep.unique_window_ids()
-    # Visit windows by decreasing profit potential.
-    ids = ids[np.argsort(-profit_sums[ids], kind="stable")]
+    t0 = time.perf_counter()
+    with span("rotation.search", n=int(n)) as sp:
+        sweep = CircularSweep(thetas, spec.rho)
+        profit_sums = sweep.window_sums(profits)
+        demand_sums = sweep.window_sums(demands)
+        ids = sweep.unique_window_ids()
+        # Visit windows by decreasing profit potential.
+        ids = ids[np.argsort(-profit_sums[ids], kind="stable")]
 
-    best = RotationOutcome.empty()
-    for k in ids:
-        potential = float(profit_sums[k])
-        if potential <= best.value + 1e-15:
-            break  # no later window can beat the incumbent
-        w = sweep.window(int(k))
-        cov = w.indices
-        if demand_sums[k] <= spec.capacity * (1.0 + 1e-12):
-            # Everything fits: the window's full profit is achievable.
-            best = RotationOutcome(
-                alpha=w.start,
-                selected=cov.copy(),
-                value=potential,
-                demand=float(demand_sums[k]),
-            )
-            continue
-        res = oracle.solve(demands[cov], profits[cov], spec.capacity)
-        if res.value > best.value:
-            best = RotationOutcome(
-                alpha=w.start,
-                selected=cov[res.selected],
-                value=res.value,
-                demand=res.weight,
-            )
+        best = RotationOutcome.empty()
+        visited = 0
+        fastpath = 0
+        for k in ids:
+            potential = float(profit_sums[k])
+            if potential <= best.value + 1e-15:
+                break  # no later window can beat the incumbent
+            visited += 1
+            w = sweep.window(int(k))
+            cov = w.indices
+            if demand_sums[k] <= spec.capacity * (1.0 + 1e-12):
+                # Everything fits: the window's full profit is achievable.
+                fastpath += 1
+                best = RotationOutcome(
+                    alpha=w.start,
+                    selected=cov.copy(),
+                    value=potential,
+                    demand=float(demand_sums[k]),
+                )
+                continue
+            res = oracle.solve(demands[cov], profits[cov], spec.capacity)
+            if res.value > best.value:
+                best = RotationOutcome(
+                    alpha=w.start,
+                    selected=cov[res.selected],
+                    value=res.value,
+                    demand=res.weight,
+                )
+        _ROT_SEARCHES.inc()
+        _ROT_CANDIDATES.inc(int(ids.size))
+        _ROT_VISITED.inc(visited)
+        _ROT_PRUNED.inc(int(ids.size) - visited)
+        _ROT_FASTPATH.inc(fastpath)
+        _ROT_TIMER.observe(time.perf_counter() - t0)
+        sp.set(windows=int(ids.size), visited=visited, value=float(best.value))
     return best
 
 
@@ -138,6 +165,7 @@ def best_rotation_fractional(
     fractions = np.zeros(n, dtype=np.float64)
     if n == 0:
         return 0.0, fractions, 0.0
+    _REG.counter("rotation.fractional_searches").inc()
     sweep = CircularSweep(thetas, spec.rho)
     demand_sums = sweep.window_sums(demands)
     if np.array_equal(demands, profits):

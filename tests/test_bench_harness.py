@@ -1,0 +1,129 @@
+"""Tests for the bench harness (repro.obs.bench) and its frozen schema."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One small real bench run, shared across the module (it's the slow part)."""
+    return run_bench(
+        families=("uniform", "disk"), n=20, k=2, seeds=(0, 1), tag="test"
+    )
+
+
+class TestRunBench:
+    def test_header(self, payload):
+        assert payload["schema"] == SCHEMA_NAME
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["tag"] == "test"
+        assert payload["config"]["families"] == ["uniform", "disk"]
+        assert payload["config"]["oracle"]  # resolved oracle name recorded
+
+    def test_runs_cover_both_kinds(self, payload):
+        kinds = {r["kind"] for r in payload["runs"]}
+        assert kinds == {"angle", "sector"}
+        # default angle suite x 2 seeds + default sector suite x 2 seeds
+        assert len(payload["runs"]) == (4 + 2) * 2
+
+    def test_ratios_certified(self, payload):
+        for run in payload["runs"]:
+            assert 0.0 <= run["ratio_vs_bound"] <= 1.0 + 1e-6
+            assert run["value"] <= run["upper_bound"] * (1 + 1e-6) + 1e-9
+
+    def test_oracle_pressure_recorded(self, payload):
+        angle_runs = [r for r in payload["runs"] if r["kind"] == "angle"]
+        assert all(r["oracle_calls"] > 0 for r in angle_runs)
+        # Only the rotation-search solvers enumerate candidate windows.
+        rotation_runs = [r for r in angle_runs if r["solver"] in ("greedy", "adaptive")]
+        assert rotation_runs
+        assert all(r["candidate_windows"] > 0 for r in rotation_runs)
+        assert all(r["phases"].get("rotation", 0.0) > 0.0 for r in rotation_runs)
+
+    def test_summary_aggregates(self, payload):
+        summary = payload["summary"]
+        assert set(summary) == {r["solver"] for r in payload["runs"]}
+        for name, s in summary.items():
+            mine = [r for r in payload["runs"] if r["solver"] == name]
+            assert s["runs"] == len(mine)
+            assert s["peak_oracle_calls"] == max(r["oracle_calls"] for r in mine)
+            assert s["min_ratio_vs_bound"] == pytest.approx(
+                min(r["ratio_vs_bound"] for r in mine)
+            )
+
+    def test_solver_subset_and_unknown(self, payload):
+        sub = run_bench(families=("uniform",), n=12, k=2, seeds=(0,),
+                        solvers=("greedy",), tag="sub")
+        assert {r["solver"] for r in sub["runs"]} == {"greedy"}
+        with pytest.raises(ValueError, match="unknown solver"):
+            run_bench(families=("uniform",), n=12, solvers=("bogus",))
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            run_bench(families=("not-a-family",), n=12)
+
+
+class TestValidateBench:
+    def test_accepts_real_payload(self, payload):
+        assert validate_bench(payload) is payload
+
+    def test_round_trip(self, payload, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench(payload, str(path))
+        loaded = load_bench(str(path))
+        assert loaded == json.loads(json.dumps(payload))  # JSON-stable
+
+    @pytest.mark.parametrize(
+        "mutate, msg",
+        [
+            (lambda p: p.__setitem__("schema", "other"), "schema"),
+            (lambda p: p.__setitem__("schema_version", 99), "schema_version"),
+            (lambda p: p.__setitem__("tag", ""), "tag"),
+            (lambda p: p.__setitem__("runs", []), "runs"),
+            (lambda p: p["runs"][0].pop("wall_time_s"), "wall_time_s"),
+            (lambda p: p["runs"][0].__setitem__("wall_time_s", -1.0), "negative"),
+            (lambda p: p["runs"][0].__setitem__("kind", "cube"), "kind"),
+            (lambda p: p["runs"][0].__setitem__("oracle_calls", 1.5), "oracle_calls"),
+            (lambda p: p["runs"][0].__setitem__("ratio_vs_bound", 2.0), "ratio_vs_bound"),
+            (lambda p: p["runs"][0].__setitem__(
+                "value", p["runs"][0]["upper_bound"] * 2 + 1), "upper bound"),
+            (lambda p: p["summary"].__setitem__("extra-solver",
+                                                next(iter(p["summary"].values()))),
+             "summary solvers"),
+            (lambda p: p["runs"][0]["phases"].__setitem__("rotation", -0.5), "phases"),
+        ],
+    )
+    def test_rejects_broken_payloads(self, payload, mutate, msg):
+        broken = copy.deepcopy(payload)
+        mutate(broken)
+        with pytest.raises(ValueError, match=msg):
+            validate_bench(broken)
+
+    def test_write_refuses_invalid(self, payload, tmp_path):
+        broken = copy.deepcopy(payload)
+        broken["schema"] = "nope"
+        with pytest.raises(ValueError):
+            write_bench(broken, str(tmp_path / "x.json"))
+        assert not (tmp_path / "x.json").exists()
+
+
+class TestCommittedBaseline:
+    def test_bench_pr1_json_is_valid(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        baseline = root / "BENCH_pr1.json"
+        assert baseline.exists(), "committed bench baseline missing"
+        payload = load_bench(str(baseline))
+        assert payload["tag"] == "pr1"

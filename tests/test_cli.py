@@ -157,3 +157,53 @@ class TestRenderFlag:
         assert run(["solve", inst, "--render"]) == 0
         out = capsys.readouterr().out
         assert "antenna 0" in out and "served" in out
+
+
+class TestBench:
+    def test_bench_writes_valid_payload(self, tmp_path, capsys):
+        from repro.obs.bench import load_bench
+
+        out = tmp_path / "BENCH_cli.json"
+        assert run(["bench", "--families", "uniform", "--n", "15", "--k", "2",
+                    "--seeds", "0", "--solvers", "greedy,shifting",
+                    "--tag", "cli", "--output", out]) == 0
+        table = capsys.readouterr().out
+        assert "greedy" in table and "shifting" in table
+        payload = load_bench(out)
+        assert payload["tag"] == "cli"
+        assert {r["solver"] for r in payload["runs"]} == {"greedy", "shifting"}
+
+    def test_bench_check_valid(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_c.json"
+        run(["bench", "--families", "uniform", "--n", "12", "--k", "2",
+             "--solvers", "greedy", "--output", out])
+        capsys.readouterr()
+        assert run(["bench", "--check", out]) == 0
+        assert "valid repro.bench v1" in capsys.readouterr().out
+
+    def test_bench_check_rejects_corrupt(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert run(["bench", "--check", bad]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_bench_unknown_family_clean_error(self, tmp_path, capsys):
+        assert run(["bench", "--families", "bogus", "--n", "10",
+                    "--output", tmp_path / "x.json"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_solve_trace_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_jsonl, trace_enabled
+
+        inst = tmp_path / "i.json"
+        run(["generate", "clustered", inst, "--params", '{"n": 15, "k": 2}'])
+        trace = tmp_path / "t.jsonl"
+        assert run(["solve", inst, "--algorithm", "greedy",
+                    "--trace", trace]) == 0
+        assert "trace events written" in capsys.readouterr().out
+        assert not trace_enabled()  # CLI turned tracing back off
+        events = read_jsonl(trace)
+        assert any(e["name"] == "solver.greedy_multi" for e in events)
+        assert any(e["name"] == "rotation.search" for e in events)

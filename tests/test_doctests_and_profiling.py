@@ -9,6 +9,7 @@ import repro.analysis.tables
 import repro.geometry.angles
 import repro.geometry.points
 import repro.knapsack.api
+import repro.obs
 from repro.analysis.profiling import (
     ProfileRow,
     format_profile,
@@ -25,6 +26,7 @@ DOCTEST_MODULES = [
     repro.knapsack.api,
     repro.analysis.metrics,
     repro.analysis.tables,
+    repro.obs,
 ]
 
 

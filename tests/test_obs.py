@@ -1,0 +1,229 @@
+"""Tests for the observability layer (repro.obs): tracing + metrics."""
+
+import json
+import threading
+
+import pytest
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.obs import (
+    Counter,
+    Gauge,
+    Registry,
+    Timer,
+    disable_tracing,
+    drain_events,
+    enable_tracing,
+    event,
+    get_registry,
+    read_jsonl,
+    span,
+    trace_enabled,
+    tracing,
+)
+from repro.obs.trace import NULL_SPAN
+from repro.packing.multi import solve_greedy_multi
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled and drained."""
+    disable_tracing()
+    drain_events()
+    yield
+    disable_tracing()
+    drain_events()
+
+
+class TestMetrics:
+    def test_counter_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c._snapshot() == {"type": "counter", "value": 6}
+
+    def test_gauge_set(self):
+        g = Gauge()
+        g.set(2.5)
+        assert g._snapshot() == {"type": "gauge", "value": 2.5}
+
+    def test_timer_observe_and_context(self):
+        t = Timer()
+        t.observe(0.25)
+        with t.time():
+            pass
+        snap = t._snapshot()
+        assert snap["type"] == "timer"
+        assert snap["count"] == 2
+        assert snap["max_s"] >= 0.25
+        assert snap["total_s"] >= 0.25
+        assert snap["min_s"] >= 0.0
+
+    def test_registry_get_or_create_same_object(self):
+        reg = Registry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.timer("a")  # name already registered as a counter
+
+    def test_registry_snapshot_sorted_and_json_safe(self):
+        reg = Registry()
+        reg.counter("z.last").inc(3)
+        reg.gauge("a.first").set(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+    def test_registry_reset_zeroes_in_place(self):
+        reg = Registry()
+        c = reg.counter("c")
+        t = reg.timer("t")
+        c.inc(7)
+        t.observe(0.1)
+        reg.reset()
+        # The handles survive (critical for module-level cached metrics)...
+        assert reg.counter("c") is c
+        # ...and carry zeroed state.
+        assert c.value == 0
+        assert t._snapshot()["count"] == 0
+        c.inc()
+        assert reg.snapshot()["c"]["value"] == 1
+
+    def test_counter_thread_safety(self):
+        c = Counter()
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert c.value == 40_000
+
+    def test_process_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+class TestTracingDisabled:
+    def test_span_is_null_singleton(self):
+        assert not trace_enabled()
+        sp = span("anything", x=1)
+        assert sp is NULL_SPAN
+        assert span("other") is NULL_SPAN  # no allocation per call
+
+    def test_null_span_is_inert(self):
+        with span("outer") as sp:
+            sp.set(a=1).set(b=2)
+            event("point", v=3)
+        assert drain_events() == []
+
+
+class TestTracingEnabled:
+    def test_span_nesting_and_attrs(self):
+        enable_tracing()
+        with span("outer", job="test") as outer:
+            with span("inner") as inner:
+                inner.set(found=7)
+            outer.set(total=1)
+        events = drain_events()
+        assert [e["name"] for e in events] == ["inner", "outer"]  # close order
+        inner_e, outer_e = events
+        assert outer_e["parent_id"] is None
+        assert outer_e["depth"] == 0
+        assert inner_e["parent_id"] == outer_e["span_id"]
+        assert inner_e["depth"] == 1
+        assert outer_e["attrs"] == {"job": "test", "total": 1}
+        assert inner_e["attrs"] == {"found": 7}
+        assert outer_e["duration_s"] >= inner_e["duration_s"] >= 0.0
+
+    def test_error_status_and_stack_unwound(self):
+        enable_tracing()
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("x")
+        (e,) = drain_events()
+        assert e["status"] == "error"
+        # The thread-local stack unwound: a new span is a root again.
+        with span("after"):
+            pass
+        (after,) = drain_events()
+        assert after["parent_id"] is None
+
+    def test_point_event(self):
+        enable_tracing()
+        event("tick", n=3)
+        (e,) = drain_events()
+        assert e["type"] == "event"
+        assert e["name"] == "tick"
+        assert e["attrs"] == {"n": 3}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(str(path)):
+            with span("a", n=1):
+                with span("b"):
+                    pass
+        assert not trace_enabled()
+        events = read_jsonl(str(path))
+        assert [e["name"] for e in events] == ["b", "a"]
+        # Sink lines are valid JSON objects with the documented fields.
+        for e in events:
+            for field in ("type", "name", "span_id", "parent_id", "depth",
+                          "thread", "ts_unix", "duration_s", "status", "attrs"):
+                assert field in e
+
+    def test_buffer_bound_drops_not_grows(self):
+        enable_tracing(max_buffer=4)
+        for i in range(10):
+            event("e", i=i)
+        events = drain_events()
+        assert len(events) == 4
+
+    def test_tracing_context_restores_disabled(self):
+        with tracing():
+            assert trace_enabled()
+            with span("x"):
+                pass
+            assert len(drain_events()) == 1
+        assert not trace_enabled()
+
+
+class TestSolverIntegration:
+    def test_greedy_multi_emits_oracle_and_rotation_metrics(self):
+        inst = gen.clustered_angles(n=40, k=3, seed=0)
+        reg = get_registry()
+        reg.reset()
+        sol = solve_greedy_multi(inst, get_solver("greedy"))
+        sol.verify(inst)
+        snap = reg.snapshot()
+        assert snap["oracle.calls"]["value"] > 0
+        assert snap["rotation.candidate_windows"]["value"] > 0
+        assert snap["rotation.searches"]["value"] == inst.k
+        assert snap["solver.greedy_multi.rounds"]["value"] == inst.k
+        # One rotation-phase timing per antenna placed.
+        assert snap["phase.rotation"]["count"] >= 2
+
+    def test_greedy_multi_spans_when_traced(self):
+        inst = gen.clustered_angles(n=25, k=2, seed=3)
+        with tracing():
+            solve_greedy_multi(inst, get_solver("greedy"))
+            events = drain_events()
+        names = [e["name"] for e in events]
+        assert names.count("rotation.search") == inst.k
+        assert names[-1] == "solver.greedy_multi"  # outermost closes last
+        root = events[-1]
+        for e in events[:-1]:
+            assert e["parent_id"] == root["span_id"]
+
+    def test_tracing_does_not_change_solution(self):
+        inst = gen.uniform_angles(n=30, k=2, seed=5)
+        oracle = get_solver("greedy")
+        base = solve_greedy_multi(inst, oracle).value(inst)
+        with tracing():
+            traced = solve_greedy_multi(inst, oracle).value(inst)
+            drain_events()
+        assert traced == base
