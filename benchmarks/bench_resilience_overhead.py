@@ -1,0 +1,62 @@
+"""Resilience overhead — the cost of cooperative budget checkpoints.
+
+The resilience contract (docs/RESILIENCE.md) promises that the budget
+checkpoints threaded through the solver hot loops are amortized to well
+under 5% of solve time, both when no budget is active (the module-level
+helpers short-circuit on a thread-local ``None``) and when a generous
+budget is ambient (clock reads happen once per ``check_stride`` ticks).
+
+Run both benchmarks and compare means::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py \
+        --benchmark-only --benchmark-group-by=param:n
+
+Pass/fail is intentionally loose (benchmarks are for measurement); the
+hard assertion is only that running under a generous budget does not
+change solver results.
+"""
+
+import pytest
+
+from repro.knapsack import get_solver
+from repro.model import generators as gen
+from repro.packing.multi import solve_greedy_multi
+from repro.resilience import Budget, current_budget
+
+SIZES = [100, 400]
+GREEDY = get_solver("greedy")
+
+
+def _instance(n):
+    return gen.clustered_angles(n=n, k=3, seed=11)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_resilience_overhead_no_budget(benchmark, n):
+    """Baseline: no ambient budget, checkpoints are thread-local reads."""
+    inst = _instance(n)
+    assert current_budget() is None
+    value = benchmark(lambda: solve_greedy_multi(inst, GREEDY).value(inst))
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_resilience_overhead_generous_budget(benchmark, n):
+    """Ambient budget far from expiry: the amortized-clock worst case."""
+    inst = _instance(n)
+
+    def solve():
+        with Budget(wall_s=3600.0).activate():
+            return solve_greedy_multi(inst, GREEDY).value(inst)
+
+    value = benchmark(solve)
+    assert value > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_budget_does_not_change_results(n):
+    inst = _instance(n)
+    base = solve_greedy_multi(inst, GREEDY).value(inst)
+    with Budget(wall_s=3600.0, max_nodes=10**12).activate():
+        bounded = solve_greedy_multi(inst, GREEDY).value(inst)
+    assert bounded == base

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Smoke check: tier-1 test suite + one tiny bench round-trip.
+# Smoke check: tier-1 test suite + one tiny bench round-trip + resilience.
 #
 # Run from anywhere:  scripts/smoke.sh
 # The bench half exercises the full observability stack (metrics registry,
 # solver instrumentation, payload emission) and validates the emitted JSON
-# against the frozen repro.bench schema (docs/OBSERVABILITY.md).
+# against the frozen repro.bench schema (docs/OBSERVABILITY.md).  The
+# resilience half drives the deadline/fallback paths end to end through
+# the CLI (docs/RESILIENCE.md).
 
 set -euo pipefail
 
@@ -14,11 +16,31 @@ export PYTHONPATH=src
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
 echo "== bench round-trip =="
-out="$(mktemp -d)/BENCH_smoke.json"
-trap 'rm -rf "$(dirname "$out")"' EXIT
+out="$tmp/BENCH_smoke.json"
 python -m repro bench --families uniform --n 50 --seeds 0 \
     --solvers greedy,shifting --tag smoke --output "$out"
 python -m repro bench --check "$out"
+
+echo "== resilience smoke =="
+inst="$tmp/inst.json"
+python -m repro generate clustered "$inst" --seed 3 --params '{"n": 40, "k": 3}'
+# Exact solve under a 1-second cooperative deadline, degrading through the
+# fallback chain (exact -> fptas -> greedy) instead of failing.
+python -m repro solve "$inst" --fallback --timeout 1.0
+# A zero deadline without --fallback must exit 4 (deadline expired), not 1.
+code=0
+python -m repro solve "$inst" --algorithm greedy --timeout 0 2>/dev/null || code=$?
+if [ "$code" -ne 4 ]; then
+    echo "expected exit 4 from an expired deadline, got $code" >&2; exit 1
+fi
+# Bench including the exact solver, bounded per-solve by --timeout.
+python -m repro bench --families uniform --n 30 --seeds 0 \
+    --solvers greedy,exact --timeout 1.0 --tag smoke-resilience \
+    --output "$tmp/BENCH_resilience.json"
+python -m repro bench --check "$tmp/BENCH_resilience.json"
 
 echo "smoke OK"

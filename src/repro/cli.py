@@ -23,6 +23,12 @@ Subcommands
     with ``--check``.
 ``families``
     List the registered instance families and solver names.
+
+Exit codes (error hygiene contract, ``docs/RESILIENCE.md``): ``0`` success,
+``1`` unexpected internal error, ``2`` usage / unknown name, ``3`` invalid
+input (malformed JSON, bad instance fields, unreadable files), ``4``
+deadline expired (``--timeout`` without ``--fallback``).  Errors print one
+line to stderr — never a raw traceback.
 """
 
 from __future__ import annotations
@@ -56,6 +62,13 @@ from repro.packing import (
     solve_exact_angle,
 )
 from repro.packing.bounds import combined_upper_bound
+
+#: CLI exit codes (documented in the module docstring / docs/RESILIENCE.md).
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_USAGE = 2
+EXIT_INVALID_INPUT = 3
+EXIT_TIMEOUT = 4
 
 #: Angle-instance algorithms exposed by the CLI.
 ANGLE_ALGORITHMS = (
@@ -125,26 +138,48 @@ def cmd_solve(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
     from repro.obs import tracing
+    from repro.resilience import Budget, default_angle_chain
 
     inst = load_instance(args.instance)
+    timeout = getattr(args, "timeout", None)
+    use_fallback = getattr(args, "fallback", False)
+    if use_fallback and not isinstance(inst, AngleInstance):
+        print("--fallback currently supports angle instances only", file=sys.stderr)
+        return EXIT_USAGE
     trace_ctx = tracing(args.trace) if getattr(args, "trace", None) else nullcontext()
+    chain_result = None
     start = time.perf_counter()
     with trace_ctx:
-        if isinstance(inst, AngleInstance):
-            sol = _solve_angle(inst, args.algorithm, args.eps)
+        if use_fallback:
+            chain = default_angle_chain(
+                eps=args.eps if args.eps < 1.0 else 0.25,
+                exact_timeout_s=timeout if timeout is not None else 1.0,
+            )
+            chain_result = chain.run(inst)
+            sol = chain_result.solution
         else:
-            sol = _solve_sector(inst, args.algorithm, args.eps)
+            budget = Budget(wall_s=timeout) if timeout is not None else None
+            ctx = budget.activate() if budget is not None else nullcontext()
+            with ctx:
+                if isinstance(inst, AngleInstance):
+                    sol = _solve_angle(inst, args.algorithm, args.eps)
+                else:
+                    sol = _solve_sector(inst, args.algorithm, args.eps)
     seconds = time.perf_counter() - start
     if getattr(args, "trace", None):
         print(f"trace events written to {args.trace}")
     sol.verify(inst)
     rows = [
-        ["algorithm", args.algorithm],
+        ["algorithm", "fallback-chain" if use_fallback else args.algorithm],
         ["value", sol.value(inst)],
         ["served demand", sol.served_demand(inst)],
         ["total demand", inst.total_demand],
         ["seconds", seconds],
     ]
+    if chain_result is not None:
+        rows.append(["stage", chain_result.stage])
+        rows.append(["reason", chain_result.reason])
+        rows.append(["degraded", chain_result.degraded])
     if isinstance(inst, AngleInstance):
         ub = combined_upper_bound(inst)
         rows.append(["upper bound", ub])
@@ -304,6 +339,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             solvers=solvers,
             eps=args.eps,
             tag=args.tag,
+            timeout_s=args.timeout,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -361,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ASCII-render the solution (angle instances)")
     s.add_argument("--trace", metavar="PATH",
                    help="write structured span events (JSONL) to this file")
+    s.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="cooperative wall-clock deadline; without --fallback "
+                        "an expired deadline exits with code 4")
+    s.add_argument("--fallback", action="store_true",
+                   help="degrade exact -> fptas -> greedy instead of failing "
+                        "(--timeout bounds the exact stage; angle instances)")
     s.set_defaults(fn=cmd_solve)
 
     c = sub.add_parser("compare", help="run the solver suite on an instance")
@@ -399,6 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--eps", type=float, default=0.5,
                    help="< 1 uses the FPTAS oracle at this eps; 1 = exact oracle "
                         "(exact can blow up on continuous-weight families)")
+    b.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="per-solve budget; also enables the budget-bounded "
+                        "anytime exact solver as a bench entry")
     b.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
     b.add_argument("--output", help="output path (default BENCH_<tag>.json)")
     b.add_argument("--check", metavar="PATH",
@@ -411,8 +456,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    """Parse and dispatch; route failures to documented exit codes.
+
+    Never lets a traceback reach the terminal: every anticipated failure
+    class maps to one stderr line and a distinct exit code.
+    """
+    from repro.model.instance import InvalidInstanceError
+    from repro.model.solution import FeasibilityError
+    from repro.resilience import BudgetExpired
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BudgetExpired as exc:
+        print(f"error: deadline expired ({exc.reason}); "
+              f"re-run with --fallback for a degraded answer", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except InvalidInstanceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed JSON: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    except FeasibilityError as exc:
+        print(f"error: solver produced an infeasible solution: {exc}",
+              file=sys.stderr)
+        return EXIT_INTERNAL
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # noqa: BLE001 - last-resort hygiene
+        print(f"error: unexpected {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

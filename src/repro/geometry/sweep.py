@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.geometry.angles import TWO_PI, normalize_angles
 from repro.obs.metrics import get_registry
+from repro.resilience.budget import checkpoint as _budget_checkpoint
 
 #: Tolerance for the closed right end of a window (matches Arc.contains).
 _WINDOW_EPS = 1e-12
@@ -99,6 +100,7 @@ class CircularSweep:
     """
 
     def __init__(self, thetas: Sequence[float] | np.ndarray, width: float):
+        _budget_checkpoint()  # sweep builds are a phase boundary (ambient budget)
         if not (0.0 <= width <= TWO_PI + _WINDOW_EPS):
             raise ValueError(f"window width must be in [0, 2*pi], got {width}")
         self.width = float(min(width, TWO_PI))

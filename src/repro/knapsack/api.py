@@ -9,6 +9,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.obs.metrics import get_registry
+from repro.resilience.budget import tick_oracle as _budget_tick_oracle
 
 #: Relative tolerance accepted when verifying a result against capacity.
 _TOL = 1e-9
@@ -23,7 +24,13 @@ _KIND_METRICS: Dict[str, tuple] = {}
 
 
 def _record_oracle(kind: str, n_items: int, seconds: float) -> None:
-    """Count one oracle call: total + per-kind counters and a timer."""
+    """Count one oracle call: total + per-kind counters and a timer.
+
+    Also ticks the thread's ambient resilience budget (if any): oracle
+    calls are the budget's ``max_oracle_calls`` unit and every call is a
+    deadline checkpoint.
+    """
+    _budget_tick_oracle()
     per = _KIND_METRICS.get(kind)
     if per is None:
         per = _KIND_METRICS[kind] = (

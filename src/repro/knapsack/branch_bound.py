@@ -17,6 +17,10 @@ import numpy as np
 
 from repro.knapsack.api import KnapsackResult, _as_arrays, _fits
 from repro.knapsack.greedy import solve_greedy
+from repro.resilience.budget import tick_nodes as _budget_tick
+
+#: Check the ambient budget only every this many search nodes.
+_BUDGET_STRIDE = 256
 
 
 def _suffix_fractional_bound(
@@ -85,6 +89,8 @@ def solve_branch_and_bound(
             raise RuntimeError(
                 f"branch & bound exceeded {max_nodes} nodes without certifying"
             )
+        if nodes % _BUDGET_STRIDE == 0:
+            _budget_tick(_BUDGET_STRIDE)  # amortized ambient-budget check
         pos, remaining, value, taken = frames.pop()
         if value > best_value + 1e-12:
             best_value = value

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.knapsack.api import KnapsackResult, _as_arrays
 from repro.obs.metrics import get_registry
+from repro.resilience.budget import tick_nodes as _budget_tick
 
 #: Refuse DP tables bigger than this many cells; fall back to B&B instead.
 _MAX_DP_CELLS = 50_000_000
@@ -60,6 +61,7 @@ def solve_exact_integer(weights, profits, capacity: float) -> KnapsackResult:
     dp = np.zeros(cap + 1, dtype=np.float64)
     take = np.zeros((n, cap + 1), dtype=bool)
     for i in range(n):
+        _budget_tick()  # amortized ambient-budget check per DP row
         wt = int(wi[i])
         if wt > cap:
             continue

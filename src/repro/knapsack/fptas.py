@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.knapsack.api import KnapsackResult, _as_arrays
 from repro.obs.metrics import get_registry
+from repro.resilience.budget import tick_nodes as _budget_tick
 
 #: Safety cap on DP cells (columns x items for the choice bitmap).
 _MAX_DP_CELLS = 80_000_000
@@ -73,6 +74,7 @@ def solve_fptas(weights, profits, capacity: float, eps: float = 0.1) -> Knapsack
     dp[0] = 0.0
     take = np.zeros((m, Q + 1), dtype=bool)
     for j in range(m):
+        _budget_tick()  # amortized ambient-budget check per DP row
         q = int(scaled[j])
         if q == 0:
             # Contributes < mu profit; ignoring it costs at most eps*P total

@@ -8,7 +8,12 @@ accidentally certify its own output.
 
 from repro.model.antenna import AntennaSpec, OrientedAntenna
 from repro.model.customer import Customer
-from repro.model.instance import AngleInstance, SectorInstance, Station
+from repro.model.instance import (
+    AngleInstance,
+    InvalidInstanceError,
+    SectorInstance,
+    Station,
+)
 from repro.model.solution import (
     AngleSolution,
     FeasibilityError,
@@ -37,6 +42,7 @@ __all__ = [
     "FractionalSolution",
     "SectorSolution",
     "FeasibilityError",
+    "InvalidInstanceError",
     "generators",
     "perturbation",
     "angle_instance_to_dict",

@@ -20,6 +20,20 @@ from repro.model.antenna import AntennaSpec
 from repro.model.customer import Customer
 
 
+class InvalidInstanceError(ValueError):
+    """An instance failed validation; ``field`` names the offending input.
+
+    Raised at construction and deserialization time so malformed data
+    (NaN/negative demands, non-finite coordinates, out-of-range angles)
+    is rejected at the boundary with a precise message instead of
+    surfacing as solver misbehaviour deep inside a run.
+    """
+
+    def __init__(self, field: str, message: str):
+        self.field = field
+        super().__init__(f"invalid instance field {field!r}: {message}")
+
+
 def _readonly(arr: np.ndarray) -> np.ndarray:
     out = np.array(arr, dtype=np.float64, copy=True)
     out.flags.writeable = False
@@ -30,17 +44,33 @@ def _validate_customer_arrays(
     demands: np.ndarray, profits: np.ndarray, n: int
 ) -> None:
     if demands.shape != (n,):
-        raise ValueError(f"demands must have shape ({n},), got {demands.shape}")
+        raise InvalidInstanceError(
+            "demands", f"must have shape ({n},), got {demands.shape}"
+        )
     if profits.shape != (n,):
-        raise ValueError(f"profits must have shape ({n},), got {profits.shape}")
-    if n and (demands <= 0).any():
-        raise ValueError("all demands must be positive")
-    if n and (profits <= 0).any():
-        raise ValueError("all profits must be positive")
+        raise InvalidInstanceError(
+            "profits", f"must have shape ({n},), got {profits.shape}"
+        )
     if n and (~np.isfinite(demands)).any():
-        raise ValueError("demands must be finite")
+        bad = int(np.flatnonzero(~np.isfinite(demands))[0])
+        raise InvalidInstanceError(
+            "demands", f"must be finite (entry {bad} is {demands[bad]})"
+        )
     if n and (~np.isfinite(profits)).any():
-        raise ValueError("profits must be finite")
+        bad = int(np.flatnonzero(~np.isfinite(profits))[0])
+        raise InvalidInstanceError(
+            "profits", f"must be finite (entry {bad} is {profits[bad]})"
+        )
+    if n and (demands <= 0).any():
+        bad = int(np.flatnonzero(demands <= 0)[0])
+        raise InvalidInstanceError(
+            "demands", f"must be positive (entry {bad} is {demands[bad]})"
+        )
+    if n and (profits <= 0).any():
+        bad = int(np.flatnonzero(profits <= 0)[0])
+        raise InvalidInstanceError(
+            "profits", f"must be positive (entry {bad} is {profits[bad]})"
+        )
 
 
 @dataclass(frozen=True)
@@ -67,7 +97,13 @@ class AngleInstance:
     profits: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
-        thetas = normalize_angles(np.asarray(self.thetas, dtype=np.float64))
+        raw_thetas = np.asarray(self.thetas, dtype=np.float64)
+        if raw_thetas.size and (~np.isfinite(raw_thetas)).any():
+            bad = int(np.flatnonzero(~np.isfinite(raw_thetas))[0])
+            raise InvalidInstanceError(
+                "thetas", f"must be finite (entry {bad} is {raw_thetas[bad]})"
+            )
+        thetas = normalize_angles(raw_thetas)
         demands = np.asarray(self.demands, dtype=np.float64)
         n = thetas.shape[0]
         profits = (
@@ -250,7 +286,14 @@ class SectorInstance:
     def __post_init__(self) -> None:
         pos = np.asarray(self.positions, dtype=np.float64)
         if pos.ndim != 2 or pos.shape[1] != 2:
-            raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
+            raise InvalidInstanceError(
+                "positions", f"must have shape (n, 2), got {pos.shape}"
+            )
+        if pos.size and (~np.isfinite(pos)).any():
+            bad = int(np.flatnonzero(~np.isfinite(pos).all(axis=1))[0])
+            raise InvalidInstanceError(
+                "positions", f"must be finite (row {bad} is {pos[bad].tolist()})"
+            )
         n = pos.shape[0]
         demands = np.asarray(self.demands, dtype=np.float64)
         profits = (

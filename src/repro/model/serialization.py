@@ -16,12 +16,25 @@ from typing import Any, Dict, Union
 import numpy as np
 
 from repro.model.antenna import AntennaSpec
-from repro.model.instance import AngleInstance, SectorInstance, Station
+from repro.model.instance import (
+    AngleInstance,
+    InvalidInstanceError,
+    SectorInstance,
+    Station,
+)
 from repro.model.solution import AngleSolution, SectorSolution
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+
+def _require(d: Dict[str, Any], key: str, where: str) -> Any:
+    """Fetch a required key, raising a typed error naming the field."""
+    try:
+        return d[key]
+    except (KeyError, TypeError):
+        raise InvalidInstanceError(where, "missing required field") from None
 
 
 def _antenna_to_dict(a: AntennaSpec) -> Dict[str, Any]:
@@ -33,13 +46,21 @@ def _antenna_to_dict(a: AntennaSpec) -> Dict[str, Any]:
     }
 
 
-def _antenna_from_dict(d: Dict[str, Any]) -> AntennaSpec:
-    return AntennaSpec(
-        rho=float(d["rho"]),
-        capacity=float(d["capacity"]),
-        radius=math.inf if d.get("radius") is None else float(d["radius"]),
-        name=d.get("name"),
-    )
+def _antenna_from_dict(d: Dict[str, Any], where: str = "antennas") -> AntennaSpec:
+    try:
+        return AntennaSpec(
+            rho=float(_require(d, "rho", f"{where}.rho")),
+            capacity=float(_require(d, "capacity", f"{where}.capacity")),
+            radius=math.inf if d.get("radius") is None else float(d["radius"]),
+            name=d.get("name"),
+        )
+    except InvalidInstanceError:
+        raise
+    except (ValueError, TypeError) as exc:
+        # AntennaSpec's own range checks (rho outside (0, 2*pi], negative
+        # capacity/radius) and float() coercion failures, re-labelled with
+        # the offending on-disk field.
+        raise InvalidInstanceError(where, str(exc)) from None
 
 
 def angle_instance_to_dict(instance: AngleInstance) -> Dict[str, Any]:
@@ -56,12 +77,25 @@ def angle_instance_to_dict(instance: AngleInstance) -> Dict[str, Any]:
 
 def angle_instance_from_dict(d: Dict[str, Any]) -> AngleInstance:
     if d.get("kind") != "angle":
-        raise ValueError(f"expected kind 'angle', got {d.get('kind')!r}")
+        raise InvalidInstanceError(
+            "kind", f"expected 'angle', got {d.get('kind')!r}"
+        )
+    try:
+        thetas = np.asarray(_require(d, "thetas", "thetas"), dtype=np.float64)
+        demands = np.asarray(_require(d, "demands", "demands"), dtype=np.float64)
+        profits = np.asarray(_require(d, "profits", "profits"), dtype=np.float64)
+    except InvalidInstanceError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise InvalidInstanceError("customers", str(exc)) from None
     return AngleInstance(
-        thetas=np.asarray(d["thetas"], dtype=np.float64),
-        demands=np.asarray(d["demands"], dtype=np.float64),
-        profits=np.asarray(d["profits"], dtype=np.float64),
-        antennas=tuple(_antenna_from_dict(a) for a in d["antennas"]),
+        thetas=thetas,
+        demands=demands,
+        profits=profits,
+        antennas=tuple(
+            _antenna_from_dict(a, where=f"antennas[{i}]")
+            for i, a in enumerate(_require(d, "antennas", "antennas"))
+        ),
     )
 
 
@@ -85,18 +119,46 @@ def sector_instance_to_dict(instance: SectorInstance) -> Dict[str, Any]:
 
 def sector_instance_from_dict(d: Dict[str, Any]) -> SectorInstance:
     if d.get("kind") != "sector":
-        raise ValueError(f"expected kind 'sector', got {d.get('kind')!r}")
-    stations = tuple(
-        Station(
-            position=(float(s["position"][0]), float(s["position"][1])),
-            antennas=tuple(_antenna_from_dict(a) for a in s["antennas"]),
+        raise InvalidInstanceError(
+            "kind", f"expected 'sector', got {d.get('kind')!r}"
         )
-        for s in d["stations"]
+
+    def build_station(i: int, s: Dict[str, Any]) -> Station:
+        where = f"stations[{i}]"
+        pos = _require(s, "position", f"{where}.position")
+        try:
+            position = (float(pos[0]), float(pos[1]))
+        except (ValueError, TypeError, IndexError) as exc:
+            raise InvalidInstanceError(f"{where}.position", str(exc)) from None
+        try:
+            return Station(
+                position=position,
+                antennas=tuple(
+                    _antenna_from_dict(a, where=f"{where}.antennas[{j}]")
+                    for j, a in enumerate(_require(s, "antennas", f"{where}.antennas"))
+                ),
+            )
+        except InvalidInstanceError:
+            raise
+        except ValueError as exc:
+            raise InvalidInstanceError(where, str(exc)) from None
+
+    stations = tuple(
+        build_station(i, s)
+        for i, s in enumerate(_require(d, "stations", "stations"))
     )
+    try:
+        positions = np.asarray(_require(d, "positions", "positions"), dtype=np.float64)
+        demands = np.asarray(_require(d, "demands", "demands"), dtype=np.float64)
+        profits = np.asarray(_require(d, "profits", "profits"), dtype=np.float64)
+    except InvalidInstanceError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise InvalidInstanceError("customers", str(exc)) from None
     return SectorInstance(
-        positions=np.asarray(d["positions"], dtype=np.float64),
-        demands=np.asarray(d["demands"], dtype=np.float64),
-        profits=np.asarray(d["profits"], dtype=np.float64),
+        positions=positions,
+        demands=demands,
+        profits=profits,
         stations=stations,
     )
 
@@ -115,7 +177,7 @@ def instance_from_dict(d: Dict[str, Any]) -> Union[AngleInstance, SectorInstance
         return angle_instance_from_dict(d)
     if kind == "sector":
         return sector_instance_from_dict(d)
-    raise ValueError(f"unknown instance kind {kind!r}")
+    raise InvalidInstanceError("kind", f"unknown instance kind {kind!r}")
 
 
 def save_instance(instance: Union[AngleInstance, SectorInstance], path: PathLike) -> None:
@@ -133,12 +195,15 @@ def load_instance(path: PathLike) -> Union[AngleInstance, SectorInstance]:
 # ----------------------------------------------------------------------
 def solution_to_dict(solution: Union[AngleSolution, SectorSolution]) -> Dict[str, Any]:
     kind = "angle" if isinstance(solution, AngleSolution) else "sector"
-    return {
+    out = {
         "format": _FORMAT_VERSION,
         "kind": kind,
         "orientations": solution.orientations.tolist(),
         "assignment": solution.assignment.tolist(),
     }
+    if solution.meta is not None:
+        out["meta"] = solution.meta
+    return out
 
 
 def solution_from_dict(d: Dict[str, Any]) -> Union[AngleSolution, SectorSolution]:
@@ -146,6 +211,7 @@ def solution_from_dict(d: Dict[str, Any]) -> Union[AngleSolution, SectorSolution
     return cls(
         orientations=np.asarray(d["orientations"], dtype=np.float64),
         assignment=np.asarray(d["assignment"], dtype=np.int64),
+        meta=d.get("meta"),
     )
 
 

@@ -9,8 +9,8 @@ number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,10 +60,16 @@ class AngleSolution:
     assignment:
         ``(n,)`` integer array: ``assignment[i]`` is the antenna serving
         customer ``i`` or ``-1`` when the customer is rejected.
+    meta:
+        Optional provenance dict (never affects feasibility or value).
+        The resilience layer records the fallback stage / degradation
+        reason here (``meta["resilience"]``, contract:
+        ``docs/RESILIENCE.md``).
     """
 
     orientations: np.ndarray
     assignment: np.ndarray
+    meta: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         ori = np.asarray(self.orientations, dtype=np.float64).reshape(-1)
@@ -77,6 +83,14 @@ class AngleSolution:
         return cls(
             orientations=np.zeros(instance.k),
             assignment=np.full(instance.n, -1, dtype=np.int64),
+        )
+
+    def with_meta(self, **entries: Any) -> "AngleSolution":
+        """A copy with ``entries`` merged into :attr:`meta`."""
+        merged = dict(self.meta or {})
+        merged.update(entries)
+        return AngleSolution(
+            orientations=self.orientations, assignment=self.assignment, meta=merged
         )
 
     # ------------------------------------------------------------------
@@ -279,11 +293,13 @@ class SectorSolution:
     """Integral solution of a 2-D sector instance.
 
     ``orientations`` and ``assignment`` index the *global* antenna table of
-    the instance (see :meth:`SectorInstance.antenna_table`).
+    the instance (see :meth:`SectorInstance.antenna_table`).  ``meta`` is
+    optional provenance (resilience records the fallback path there).
     """
 
     orientations: np.ndarray
     assignment: np.ndarray
+    meta: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         ori = np.asarray(self.orientations, dtype=np.float64).reshape(-1)
@@ -296,6 +312,14 @@ class SectorSolution:
         return cls(
             orientations=np.zeros(instance.total_antennas),
             assignment=np.full(instance.n, -1, dtype=np.int64),
+        )
+
+    def with_meta(self, **entries: Any) -> "SectorSolution":
+        """A copy with ``entries`` merged into :attr:`meta`."""
+        merged = dict(self.meta or {})
+        merged.update(entries)
+        return SectorSolution(
+            orientations=self.orientations, assignment=self.assignment, meta=merged
         )
 
     def value(self, instance: SectorInstance) -> float:

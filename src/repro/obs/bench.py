@@ -49,7 +49,7 @@ DEFAULT_SECTOR_SOLVERS = ("sector-greedy", "sector-independent")
 DEFAULT_FAMILIES = ("uniform", "clustered", "hotspot")
 
 
-def _angle_solver_table(oracle) -> Dict[str, Callable]:
+def _angle_solver_table(oracle, timeout_s: Optional[float] = None) -> Dict[str, Callable]:
     from repro.packing import (
         improve_solution,
         solve_greedy_multi,
@@ -57,9 +57,19 @@ def _angle_solver_table(oracle) -> Dict[str, Callable]:
         solve_non_overlapping_dp,
         solve_shifting,
     )
+    from repro.packing.exact import solve_exact_anytime
     from repro.packing.insertion import solve_insertion
+    from repro.resilience import Budget
+
+    def run_exact_anytime(inst):
+        # A fresh budget per solve: the exact search runs bounded and
+        # returns its incumbent, so even E2-scale instances can sit in the
+        # bench table next to the polynomial solvers.
+        budget = Budget(wall_s=timeout_s if timeout_s is not None else 1.0)
+        return solve_exact_anytime(inst, budget=budget).solution
 
     return {
+        "exact": run_exact_anytime,
         "greedy": lambda inst: solve_greedy_multi(inst, oracle),
         "adaptive": lambda inst: solve_greedy_multi(inst, oracle, adaptive=True),
         "greedy+ls": lambda inst: improve_solution(
@@ -137,6 +147,7 @@ def run_bench(
     solvers: Optional[Sequence[str]] = None,
     eps: float = 0.5,
     tag: str = "pr1",
+    timeout_s: Optional[float] = None,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -145,11 +156,16 @@ def run_bench(
     knapsack oracle from exact to the FPTAS at that ``eps``; the default is
     the FPTAS at ``eps=0.5`` because the exact oracle's branch-and-bound
     can explode on continuous-weight families at bench sizes.
+
+    ``timeout_s`` activates an ambient :class:`~repro.resilience.Budget`
+    around every solve (deadline-bounding the polynomial solvers too) and
+    sets the per-solve budget of the ``exact`` table entry — the anytime
+    exact search, which is only benchable *because* it is bounded.
     """
     if not families:
         raise ValueError("no families given")
     oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
-    angle_table = _angle_solver_table(oracle)
+    angle_table = _angle_solver_table(oracle, timeout_s=timeout_s)
     sector_table = _sector_solver_table(oracle)
     known = set(angle_table) | set(sector_table)
     if solvers is not None:
@@ -236,6 +252,7 @@ def run_bench(
             "solvers": list(solvers) if solvers is not None else None,
             "eps": float(eps),
             "oracle": oracle.name,
+            "timeout_s": float(timeout_s) if timeout_s is not None else None,
         },
         "environment": {
             "python": sys.version.split()[0],

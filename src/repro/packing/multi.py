@@ -45,6 +45,8 @@ from repro.obs import span
 from repro.obs.metrics import get_registry
 from repro.packing.canonical import rotation_candidates
 from repro.packing.single import best_rotation
+from repro.resilience.budget import checkpoint as _budget_checkpoint
+from repro.resilience.budget import tick_nodes as _budget_tick
 
 # Solver-level telemetry (contract: docs/OBSERVABILITY.md).
 _REG = get_registry()
@@ -106,6 +108,7 @@ def solve_greedy_multi(
               adaptive=bool(adaptive)) as sp:
         if not adaptive:
             for j in antenna_order:
+                _budget_checkpoint()  # cooperative deadline (ambient budget)
                 out, idx = run_rotation(j)
                 rounds += 1
                 chosen = idx[out.selected]
@@ -117,6 +120,7 @@ def solve_greedy_multi(
             while unused:
                 best_j, best_out, best_idx = -1, None, None
                 for j in sorted(unused):
+                    _budget_checkpoint()  # cooperative deadline (ambient budget)
                     out, idx = run_rotation(j)
                     if best_out is None or out.value > best_out.value:
                         best_j, best_out, best_idx = j, out, idx
@@ -159,6 +163,7 @@ def _window_profit_tables(
         vals = np.zeros(candidates.size, dtype=np.float64)
         sels: List[np.ndarray] = []
         for c_id, s in enumerate(candidates):
+            _budget_tick()  # amortized ambient-budget check
             # Half-open windows: stacked windows sharing a boundary must not
             # both count a customer sitting exactly on it (the DP sums
             # window profits, so closed ends would double-count).
@@ -225,6 +230,7 @@ def solve_non_overlapping_dp(
         best_placements: List[Tuple[float, int]] = []  # (start, antenna)
 
         for f in range(m):
+            _budget_checkpoint()  # cooperative deadline (ambient budget)
             s0 = float(candidates[f])
             # Linearize: offsets of every candidate from s0, ascending.
             offs = np.array([ccw_delta(s0, float(c)) for c in candidates])

@@ -38,6 +38,8 @@ from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
 from repro.obs import span
 from repro.obs.metrics import get_registry
+from repro.resilience.budget import checkpoint as _budget_checkpoint
+from repro.resilience.budget import tick_nodes as _budget_tick
 
 # Solver-level telemetry (contract: docs/OBSERVABILITY.md).
 _REG = get_registry()
@@ -83,6 +85,7 @@ def solve_shifting(
         values = np.empty(ids.size, dtype=np.float64)
         picks: List[np.ndarray] = []
         for a, wid in enumerate(ids):
+            _budget_tick()  # amortized ambient-budget check
             w = sweep.window(int(wid))
             cov = w.indices
             starts[a] = w.start
@@ -101,6 +104,7 @@ def solve_shifting(
         best_value = -1.0
         best_windows: List[int] = []
         for s in range(t):
+            _budget_checkpoint()  # cooperative deadline (ambient budget)
             cut = s * TWO_PI / t
             # Linearize window starts after the cut; keep windows that end
             # before wrapping back past the cut.

@@ -1,4 +1,4 @@
-"""Chunked process-pool map with graceful serial fallback.
+"""Chunked process-pool map with graceful serial fallback and crash recovery.
 
 The HPC guides for this project teach two execution models: MPI-style
 scatter/gather (mpi4py) and JIT-compiled kernels (numba).  Neither package
@@ -16,20 +16,41 @@ Both degrade to serial execution when ``workers <= 1``, when the item
 count is tiny, or when the callable is not picklable (lambdas/closures) —
 so callers never need a code path split.  Worker count resolution order:
 explicit argument, ``REPRO_WORKERS`` environment variable, CPU count.
+
+**Crash recovery** (resilience contract, ``docs/RESILIENCE.md``): each
+chunk is submitted as its own future, so one dying worker (segfault,
+``os._exit``, OOM-kill — surfaced as ``BrokenProcessPool``) or one hung /
+poisoned chunk (``chunk_timeout_s``) only loses *its* chunks.  Failed
+chunks are re-run **serially in the parent**, which recovers both crashes
+and transient worker-only faults (the chaos harness injects faults only in
+worker pids for exactly this reason).  A chunk whose serial re-run *also*
+fails raises by default; ``scatter_gather(..., allow_partial=True)``
+instead records ``None`` for that chunk and returns the rest.  Events are
+counted in the ``parallel.*`` metrics.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.obs.metrics import get_registry
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Below this many items the pool overhead dominates; run serial.
 _MIN_PARALLEL_ITEMS = 4
+
+# Pool-resilience telemetry (contract: docs/RESILIENCE.md).
+_REG = get_registry()
+_WORKER_FAILURES = _REG.counter("parallel.worker_failures")
+_SERIAL_RETRIES = _REG.counter("parallel.serial_retries")
+_CHUNK_TIMEOUTS = _REG.counter("parallel.chunk_timeouts")
+_FAILED_CHUNKS = _REG.counter("parallel.failed_chunks")
 
 
 def worker_count(workers: Optional[int] = None) -> int:
@@ -58,16 +79,75 @@ def _apply_chunk(payload):
     return [fn(item) for item in chunk]
 
 
+def _run_chunked(
+    fn: Callable,
+    chunk_args: List,
+    workers: int,
+    chunk_timeout_s: Optional[float],
+    allow_partial: bool,
+) -> List:
+    """Run ``fn`` over ``chunk_args`` with crash/timeout recovery.
+
+    Returns per-chunk results in order.  Failed chunks are re-run serially
+    in the parent; a chunk that fails even serially raises (or yields
+    ``None`` under ``allow_partial``).
+    """
+    m = len(chunk_args)
+    results: List = [None] * m
+    done = [False] * m
+    failed: List[int] = []
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {i: pool.submit(fn, chunk_args[i]) for i in range(m)}
+            for i, fut in futures.items():
+                try:
+                    results[i] = fut.result(timeout=chunk_timeout_s)
+                    done[i] = True
+                except TimeoutError:
+                    _CHUNK_TIMEOUTS.inc()
+                    fut.cancel()
+                    failed.append(i)
+                except BrokenProcessPool:
+                    # The pool is dead: everything not yet collected is lost.
+                    _WORKER_FAILURES.inc()
+                    failed.extend(j for j in range(i, m) if not done[j])
+                    break
+                except Exception:
+                    _WORKER_FAILURES.inc()
+                    failed.append(i)
+    except BrokenProcessPool:
+        # Shutdown can also surface the breakage; anything unfinished is lost.
+        _WORKER_FAILURES.inc()
+        failed.extend(j for j in range(m) if not done[j] and j not in failed)
+
+    # Serial recovery in the parent process.
+    for i in sorted(set(failed)):
+        _SERIAL_RETRIES.inc()
+        try:
+            results[i] = fn(chunk_args[i])
+            done[i] = True
+        except Exception:
+            _FAILED_CHUNKS.inc()
+            if not allow_partial:
+                raise
+            results[i] = None
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    chunk_timeout_s: Optional[float] = None,
 ) -> List[R]:
     """Order-preserving map, fanned out over processes in chunks.
 
     Falls back to a serial list comprehension when parallelism cannot help
     (single worker, few items) or cannot work (unpicklable ``fn``).
+    Worker crashes and per-chunk timeouts (``chunk_timeout_s``) are
+    recovered by re-running the lost chunks serially in the parent; the
+    result is complete or an exception — never silently truncated.
     """
     items = list(items)
     w = worker_count(workers)
@@ -77,10 +157,16 @@ def parallel_map(
         # ~4 chunks per worker balances load without pickling per item.
         chunk_size = max(1, len(items) // (4 * w))
     chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+    parts = _run_chunked(
+        _apply_chunk,
+        [(fn, c) for c in chunks],
+        workers=w,
+        chunk_timeout_s=chunk_timeout_s,
+        allow_partial=False,
+    )
     results: List[R] = []
-    with ProcessPoolExecutor(max_workers=w) as pool:
-        for part in pool.map(_apply_chunk, [(fn, c) for c in chunks]):
-            results.extend(part)
+    for part in parts:
+        results.extend(part)
     return results
 
 
@@ -88,15 +174,34 @@ def scatter_gather(
     fn: Callable[[Sequence[T]], R],
     chunks: Iterable[Sequence[T]],
     workers: Optional[int] = None,
+    chunk_timeout_s: Optional[float] = None,
+    allow_partial: bool = False,
 ) -> List[R]:
     """Apply ``fn`` to each pre-made chunk and gather results in order.
 
     The mpi4py-tutorial idiom: the caller decides the decomposition,
-    ``fn`` processes one chunk, results come back rank-ordered.
+    ``fn`` processes one chunk, results come back rank-ordered.  Crashed
+    or timed-out chunks are re-run serially; with ``allow_partial=True`` a
+    chunk that fails even serially yields ``None`` in its slot instead of
+    raising (partial results beat no results for bench sweeps).
     """
     chunk_list = [list(c) for c in chunks]
     w = worker_count(workers)
     if w <= 1 or len(chunk_list) <= 1 or not _is_picklable(fn):
-        return [fn(c) for c in chunk_list]
-    with ProcessPoolExecutor(max_workers=w) as pool:
-        return list(pool.map(fn, chunk_list))
+        out: List[R] = []
+        for c in chunk_list:
+            try:
+                out.append(fn(c))
+            except Exception:
+                _FAILED_CHUNKS.inc()
+                if not allow_partial:
+                    raise
+                out.append(None)  # type: ignore[arg-type]
+        return out
+    return _run_chunked(
+        fn,
+        chunk_list,
+        workers=w,
+        chunk_timeout_s=chunk_timeout_s,
+        allow_partial=allow_partial,
+    )

@@ -1,0 +1,77 @@
+"""repro.resilience — deadlines, cancellation, fallbacks, fault injection.
+
+The resilience layer (contract: ``docs/RESILIENCE.md``) makes every solve
+in the suite bounded and gracefully degradable:
+
+* :mod:`repro.resilience.budget` — cooperative :class:`Budget`
+  (wall-clock deadline + node/oracle-call limits + cancellation) enforced
+  at cheap checkpoints inside every instrumented hot loop;
+* :mod:`repro.resilience.anytime` — :class:`AnytimeOutcome`, the
+  incumbent-plus-certified-bounds result a budget-bounded exact solve
+  returns instead of hanging or dying;
+* :mod:`repro.resilience.fallbacks` — declarative degradation ladders
+  (``exact -> fptas(eps) -> greedy``) with per-stage budgets and
+  retry-with-backoff;
+* :mod:`repro.resilience.chaos` — seed-deterministic injection of delays,
+  exceptions, and worker kills, used by tier-1 tests to prove every
+  degradation path.
+
+>>> from repro.resilience import Budget, BudgetExpired
+>>> b = Budget(max_nodes=2)
+>>> b.tick(); b.tick()
+>>> try:
+...     b.tick()
+... except BudgetExpired as e:
+...     e.reason
+'node_limit'
+"""
+
+from repro.resilience.anytime import AnytimeOutcome
+from repro.resilience.budget import (
+    Budget,
+    BudgetExpired,
+    checkpoint,
+    current_budget,
+    tick_nodes,
+    tick_oracle,
+)
+from repro.resilience.chaos import (
+    ChaosError,
+    ChaosMonkey,
+    ChaosPolicy,
+    chaos_active,
+    chaos_point,
+    current_chaos,
+)
+from repro.resilience.fallbacks import (
+    ChainResult,
+    FallbackChain,
+    FallbackExhausted,
+    Stage,
+    default_angle_chain,
+)
+
+__all__ = [
+    # budget
+    "Budget",
+    "BudgetExpired",
+    "current_budget",
+    "checkpoint",
+    "tick_nodes",
+    "tick_oracle",
+    # anytime
+    "AnytimeOutcome",
+    # fallbacks
+    "Stage",
+    "ChainResult",
+    "FallbackChain",
+    "FallbackExhausted",
+    "default_angle_chain",
+    # chaos
+    "ChaosError",
+    "ChaosPolicy",
+    "ChaosMonkey",
+    "chaos_active",
+    "chaos_point",
+    "current_chaos",
+]

@@ -1,0 +1,60 @@
+"""Anytime solve outcomes: an incumbent plus a certified optimality bracket.
+
+A budget-bounded exact solve cannot promise the optimum, but it *can*
+promise a bracket: the incumbent's value is a certified **lower bound** on
+OPT (the solution is feasible — verified, never self-certified) and the
+``upper_bound`` field is a certified **upper bound** (the cheap proven
+bound of :mod:`repro.packing.bounds`, tightened to the exact value when
+the search completes).  ``gap()`` is then a proof-carrying statement of
+how far from optimal the answer can possibly be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class AnytimeOutcome:
+    """Result of a budget-bounded solve with certified bounds.
+
+    Attributes
+    ----------
+    solution:
+        The best feasible solution found (never ``None``; anytime solvers
+        seed the incumbent with a cheap greedy solution before searching).
+    lower_bound:
+        Certified lower bound on OPT — the incumbent's own value.
+    upper_bound:
+        Certified upper bound on OPT.  Equals ``lower_bound`` when
+        ``optimal``.
+    optimal:
+        True when the search completed and the incumbent is provably OPT.
+    reason:
+        ``"complete"`` or the :class:`~repro.resilience.budget.BudgetExpired`
+        reason that stopped the search (``"deadline"``, ``"node_limit"``,
+        ``"oracle_limit"``, ``"cancelled"``).
+    stats:
+        Free-form solver statistics (tuples explored, nodes, seconds).
+    """
+
+    solution: Any
+    lower_bound: float
+    upper_bound: float
+    optimal: bool
+    reason: str
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.lower_bound > self.upper_bound * (1.0 + 1e-9) + 1e-9:
+            raise ValueError(
+                f"anytime bracket inverted: lower {self.lower_bound} > "
+                f"upper {self.upper_bound}"
+            )
+
+    def gap(self) -> float:
+        """Relative optimality gap ``(ub - lb) / ub`` (0 when optimal)."""
+        if self.upper_bound <= 0:
+            return 0.0
+        return max(0.0, (self.upper_bound - self.lower_bound) / self.upper_bound)

@@ -1,0 +1,162 @@
+"""Deterministic fault injection: delays, exceptions, and worker kills.
+
+Degradation paths are only trustworthy if they are *exercised*; this
+module makes every failure mode reproducible from a seed so tier-1 tests
+can prove each one (``tests/test_resilience.py``).
+
+Two injection surfaces:
+
+* **in-process sites** — ``with chaos_active(policy): ...`` installs a
+  thread-local :class:`ChaosMonkey`; instrumented call sites (the fallback
+  chain's stage entry, or any code calling :func:`chaos_point`) then
+  deterministically sleep or raise :class:`ChaosError` according to the
+  policy.  Decisions depend only on ``(seed, site, call ordinal)`` — the
+  RNG is re-derived per decision from a string seed (SHA-512 underneath),
+  so they are stable across processes and interpreter restarts.
+* **worker processes** — :meth:`ChaosPolicy.wrap` wraps a picklable
+  callable so that *in a worker process* (pid differs from the wrapping
+  pid) it deterministically raises or hard-kills the worker
+  (``os._exit``) per item.  The parent process runs the same wrapper
+  clean, which is exactly what the pool's serial-retry path needs.
+
+Injected events are counted in the ``chaos.injected.*`` metrics
+(delays/errors counted in-process; kills die with their worker and are
+observed parent-side as ``parallel.worker_failures``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "ChaosError",
+    "ChaosPolicy",
+    "ChaosMonkey",
+    "chaos_active",
+    "current_chaos",
+    "chaos_point",
+]
+
+_REG = get_registry()
+_INJ_ERRORS = _REG.counter("chaos.injected.errors")
+_INJ_DELAYS = _REG.counter("chaos.injected.delays")
+
+
+class ChaosError(RuntimeError):
+    """A deterministically injected (transient) failure."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Declarative fault rates, all driven by one seed.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    decision; ``1.0`` means "always".
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    kill_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "delay_rate", "kill_rate"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
+
+    def _roll(self, site: str, ordinal: int) -> random.Random:
+        # str seeds hash through SHA-512 — stable across processes, unlike
+        # builtin hash() which is salted per interpreter.
+        return random.Random(f"{self.seed}:{site}:{ordinal}")
+
+    def wrap(self, fn) -> "_ChaosWrapped":
+        """Picklable wrapper injecting worker-side faults around ``fn``."""
+        return _ChaosWrapped(fn, self, os.getpid())
+
+
+class ChaosMonkey:
+    """Per-thread injector executing a :class:`ChaosPolicy` at named sites."""
+
+    def __init__(self, policy: ChaosPolicy):
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._ordinals: dict = {}
+
+    def at(self, site: str) -> None:
+        """Maybe inject a delay and/or an error at this site."""
+        with self._lock:
+            ordinal = self._ordinals.get(site, 0)
+            self._ordinals[site] = ordinal + 1
+        rng = self.policy._roll(site, ordinal)
+        if self.policy.delay_rate and rng.random() < self.policy.delay_rate:
+            _INJ_DELAYS.inc()
+            time.sleep(self.policy.delay_s)
+        if self.policy.error_rate and rng.random() < self.policy.error_rate:
+            _INJ_ERRORS.inc()
+            raise ChaosError(f"injected failure at {site!r} (call {ordinal})")
+
+
+class _ChaosWrapped:
+    """Picklable callable that misbehaves only inside worker processes."""
+
+    def __init__(self, fn, policy: ChaosPolicy, parent_pid: int):
+        self.fn = fn
+        self.policy = policy
+        self.parent_pid = parent_pid
+
+    def __call__(self, item):
+        if os.getpid() != self.parent_pid:
+            rng = self.policy._roll("worker", _stable_ordinal(item))
+            if self.policy.kill_rate and rng.random() < self.policy.kill_rate:
+                os._exit(17)  # hard kill: the pool sees BrokenProcessPool
+            if self.policy.error_rate and rng.random() < self.policy.error_rate:
+                raise ChaosError(f"injected worker failure on {item!r}")
+            if self.policy.delay_rate and rng.random() < self.policy.delay_rate:
+                time.sleep(self.policy.delay_s)
+        return self.fn(item)
+
+
+def _stable_ordinal(item) -> int:
+    """A process-stable int identity for a work item (repr-based)."""
+    import zlib
+
+    return zlib.crc32(repr(item).encode("utf-8", "replace"))
+
+
+_TLS = threading.local()
+
+
+def current_chaos() -> Optional[ChaosMonkey]:
+    """The thread's active :class:`ChaosMonkey`, or ``None``."""
+    return getattr(_TLS, "monkey", None)
+
+
+@contextmanager
+def chaos_active(policy: ChaosPolicy) -> Iterator[ChaosMonkey]:
+    """Install ``policy`` as the thread's fault injector."""
+    prev = getattr(_TLS, "monkey", None)
+    monkey = ChaosMonkey(policy)
+    _TLS.monkey = monkey
+    try:
+        yield monkey
+    finally:
+        _TLS.monkey = prev
+
+
+def chaos_point(site: str) -> None:
+    """Instrumented call site: no-op unless a chaos policy is active."""
+    monkey = getattr(_TLS, "monkey", None)
+    if monkey is not None:
+        monkey.at(site)

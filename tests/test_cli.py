@@ -207,3 +207,96 @@ class TestTraceFlag:
         events = read_jsonl(trace)
         assert any(e["name"] == "solver.greedy_multi" for e in events)
         assert any(e["name"] == "rotation.search" for e in events)
+
+
+class TestErrorHygiene:
+    """Exit-code contract: 0 ok, 2 usage, 3 invalid input, 4 timeout.
+
+    Every failure is one stderr line -- a raw traceback reaching the
+    terminal is itself a bug.
+    """
+
+    @pytest.fixture()
+    def angle_file(self, tmp_path):
+        out = tmp_path / "i.json"
+        run(["generate", "clustered", out, "--seed", "2",
+             "--params", '{"n": 15, "k": 2}'])
+        return out
+
+    def test_malformed_json_exit_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json at all")
+        assert run(["solve", bad]) == 3
+        err = capsys.readouterr().err
+        assert "malformed JSON" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_exit_3(self, tmp_path, capsys):
+        assert run(["solve", tmp_path / "nope.json"]) == 3
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+
+    def test_nan_demand_exit_3_names_field(self, tmp_path, angle_file, capsys):
+        d = json.loads(angle_file.read_text())
+        d["demands"][1] = float("nan")
+        bad = tmp_path / "nan.json"
+        bad.write_text(json.dumps(d))
+        assert run(["solve", bad]) == 3
+        err = capsys.readouterr().err
+        assert "demands" in err
+        assert "Traceback" not in err
+
+    def test_negative_demand_exit_3(self, tmp_path, angle_file, capsys):
+        d = json.loads(angle_file.read_text())
+        d["demands"][0] = -2.0
+        bad = tmp_path / "neg.json"
+        bad.write_text(json.dumps(d))
+        assert run(["solve", bad]) == 3
+        assert "demands" in capsys.readouterr().err
+
+    def test_bad_antenna_rho_exit_3(self, tmp_path, angle_file, capsys):
+        d = json.loads(angle_file.read_text())
+        d["antennas"][0]["rho"] = 100.0  # outside (0, 2*pi]
+        bad = tmp_path / "rho.json"
+        bad.write_text(json.dumps(d))
+        assert run(["solve", bad]) == 3
+        assert "antennas[0]" in capsys.readouterr().err
+
+    def test_timeout_exit_4(self, angle_file, capsys):
+        assert run(["solve", angle_file, "--algorithm", "greedy",
+                    "--timeout", "0"]) == 4
+        err = capsys.readouterr().err
+        assert "deadline expired" in err
+        assert "--fallback" in err  # points at the degraded-answer escape hatch
+        assert "Traceback" not in err
+
+    def test_fallback_answers_under_zero_timeout(self, angle_file, capsys):
+        # Same zero deadline, but --fallback degrades instead of failing.
+        assert run(["solve", angle_file, "--fallback", "--timeout", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback-chain" in out
+        assert "stage" in out and "degraded" in out
+
+    def test_fallback_happy_path(self, angle_file, capsys):
+        assert run(["solve", angle_file, "--fallback"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback-chain" in out
+        assert "exact" in out
+
+    def test_fallback_sector_is_usage_error(self, tmp_path, capsys):
+        inst = tmp_path / "s.json"
+        run(["generate", "towns", inst, "--params", '{"n": 10}'])
+        assert run(["solve", inst, "--fallback"]) == 2
+        assert "angle instances only" in capsys.readouterr().err
+
+    def test_bench_timeout_bounds_exact_solver(self, tmp_path, capsys):
+        from repro.obs.bench import load_bench
+
+        out = tmp_path / "BENCH_t.json"
+        assert run(["bench", "--families", "uniform", "--n", "12", "--k", "2",
+                    "--seeds", "0", "--solvers", "greedy,exact",
+                    "--timeout", "1.0", "--output", out]) == 0
+        payload = load_bench(out)
+        assert payload["config"]["timeout_s"] == 1.0
+        assert "exact" in {r["solver"] for r in payload["runs"]}

@@ -216,3 +216,78 @@ class TestCoverCorruption:
         )
         with pytest.raises(ValueError):
             verify_cover(inst.thetas, inst.demands, inst.antennas[0], bad)
+
+
+class TestTypedInstanceValidation:
+    """InvalidInstanceError names the offending field at deserialization."""
+
+    def err_for(self, d):
+        from repro.model import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError) as exc:
+            instance_from_dict(d)
+        return exc.value
+
+    def test_nan_demand_names_field_and_entry(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        d["demands"][3] = float("nan")
+        err = self.err_for(d)
+        assert err.field == "demands"
+        assert "entry 3" in str(err)
+
+    def test_negative_demand_names_field_and_entry(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        d["demands"][0] = -1.0
+        err = self.err_for(d)
+        assert err.field == "demands"
+        assert "entry 0" in str(err)
+
+    def test_nonpositive_profit_names_field(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        d["profits"][2] = 0.0
+        err = self.err_for(d)
+        assert err.field == "profits"
+        assert "entry 2" in str(err)
+
+    def test_infinite_theta_names_field(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        d["thetas"][1] = float("inf")
+        err = self.err_for(d)
+        assert err.field == "thetas"
+        assert "entry 1" in str(err)
+
+    def test_out_of_range_rho_names_antenna(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        d["antennas"][1]["rho"] = 100.0
+        assert self.err_for(d).field == "antennas[1]"
+
+    def test_missing_key_names_field(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        del d["demands"]
+        assert self.err_for(d).field == "demands"
+
+    def test_unknown_kind(self, angle_case):
+        inst, _ = angle_case
+        d = instance_to_dict(inst)
+        d["kind"] = "hexagon"
+        assert self.err_for(d).field == "kind"
+
+    def test_nonfinite_position_names_row(self, sector_case):
+        inst, _ = sector_case
+        d = instance_to_dict(inst)
+        d["positions"][2][0] = float("nan")
+        err = self.err_for(d)
+        assert err.field == "positions"
+        assert "row 2" in str(err)
+
+    def test_error_is_a_value_error(self):
+        # Callers that only know ValueError keep working.
+        from repro.model import InvalidInstanceError
+
+        assert issubclass(InvalidInstanceError, ValueError)

@@ -1,11 +1,14 @@
 """Tests for the process-pool layer (repro.parallel)."""
 
 import os
+import time
 
 import pytest
 
+from repro.obs.metrics import get_registry
 from repro.parallel import parallel_map, scatter_gather, worker_count
 from repro.parallel.pool import _is_picklable
+from repro.resilience import ChaosPolicy
 
 
 def square(x):
@@ -14,6 +17,21 @@ def square(x):
 
 def chunk_sum(chunk):
     return sum(chunk)
+
+
+def slow_chunk_sum(chunk):
+    time.sleep(0.25)
+    return sum(chunk)
+
+
+def failing_chunk_sum(chunk):
+    raise RuntimeError("this chunk always fails")
+
+
+# Chaos-wrapped workers: deterministic by seed, and only misbehave inside
+# worker processes (the parent's serial retry always runs clean).
+KILLER = ChaosPolicy(seed=11, kill_rate=0.4).wrap(square)
+ERRORER = ChaosPolicy(seed=12, error_rate=0.5).wrap(square)
 
 
 class TestWorkerCount:
@@ -76,6 +94,52 @@ class TestScatterGather:
     def test_serial_fallback(self):
         chunks = [[1], [2], [3]]
         assert scatter_gather(chunk_sum, chunks, workers=1) == [1, 2, 3]
+
+
+class TestCrashRecovery:
+    def test_worker_kill_recovered_serially(self):
+        # Workers die mid-chunk (os._exit) on a seeded schedule; the pool
+        # must still return every result, via serial parent re-runs.
+        reg = get_registry()
+        reg.reset()
+        items = list(range(40))
+        out = parallel_map(KILLER, items, workers=2, chunk_size=5)
+        assert out == [x * x for x in items]
+        snap = reg.snapshot()
+        assert snap["parallel.worker_failures"]["value"] >= 1
+        assert snap["parallel.serial_retries"]["value"] >= 1
+
+    def test_worker_error_recovered_serially(self):
+        items = list(range(40))
+        out = parallel_map(ERRORER, items, workers=2, chunk_size=5)
+        assert out == [x * x for x in items]
+
+    def test_chunk_timeout_recovered_serially(self):
+        reg = get_registry()
+        reg.reset()
+        chunks = [[1, 2], [3, 4], [5, 6]]
+        out = scatter_gather(slow_chunk_sum, chunks, workers=2,
+                             chunk_timeout_s=0.01)
+        assert out == [3, 7, 11]
+        assert reg.snapshot()["parallel.chunk_timeouts"]["value"] >= 1
+
+    def test_permanent_failure_raises_by_default(self):
+        with pytest.raises(RuntimeError):
+            scatter_gather(failing_chunk_sum, [[1], [2], [3]], workers=2)
+
+    def test_allow_partial_yields_none_slots(self):
+        reg = get_registry()
+        reg.reset()
+        chunks = [[1], [2], [3]]
+        out = scatter_gather(failing_chunk_sum, chunks, workers=2,
+                             allow_partial=True)
+        assert out == [None, None, None]
+        assert reg.snapshot()["parallel.failed_chunks"]["value"] == 3
+
+    def test_allow_partial_serial_path(self):
+        out = scatter_gather(failing_chunk_sum, [[1], [2]], workers=1,
+                             allow_partial=True)
+        assert out == [None, None]
 
 
 class TestPicklable:
