@@ -16,6 +16,19 @@ export PYTHONPATH=src
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== engine registry completeness =="
+# Every packing export must be claimed by a registered SolverSpec, every
+# knapsack oracle / online policy must be registered, and every spec must
+# solve a tiny instance end to end (docs/ENGINE.md).
+python - <<'PY'
+from repro.engine import check_registry, smoke_check
+
+problems = check_registry() + smoke_check()
+for p in problems:
+    print(f"registry problem: {p}")
+raise SystemExit(1 if problems else 0)
+PY
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 

@@ -21,6 +21,7 @@ from repro.analysis.experiments import (
     compare_solvers,
     ratio_study,
     report,
+    specs_from_engine,
 )
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "compare_solvers",
     "ratio_study",
     "report",
+    "specs_from_engine",
     "InstanceStats",
     "instance_stats",
     "gini",

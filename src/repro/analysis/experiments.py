@@ -10,6 +10,9 @@ entry points here:
 
 Solvers are plain callables ``instance -> value`` wrapped in
 :class:`SolverSpec` so reports carry names and proven guarantees.
+:func:`specs_from_engine` derives a suite straight from the
+:mod:`repro.engine` registry — the harness owns no solver table of its
+own; dispatch, oracle policy, and caching live in the engine.
 """
 
 from __future__ import annotations
@@ -35,6 +38,74 @@ class SolverSpec:
     name: str
     fn: Callable[..., float]
     guarantee: Optional[float] = None
+
+
+def specs_from_engine(
+    family: str = "angle",
+    names: Optional[Sequence[str]] = None,
+    eps: float = 1.0,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> List[SolverSpec]:
+    """Build a harness suite from the :mod:`repro.engine` registry.
+
+    Each returned :class:`SolverSpec` routes through ``engine.solve`` (so
+    runs share the engine's oracle policy, verification, and instance
+    cache) and carries the registry's proven guarantee evaluated at the
+    oracle factor implied by ``eps`` (``beta = 1 - eps`` below 1.0).
+
+    ``names=None`` selects every polynomial overlap-variant solver of the
+    family that applies to generic instances (probed on a tiny canonical
+    instance, so conditional specs like ``single`` drop out); name
+    exponential, fractional, or conditional specs explicitly when you
+    want them.
+    """
+    from repro.engine import SolveRequest, get_spec
+    from repro.engine import solve as engine_solve
+    from repro.engine import specs as engine_specs
+
+    if names is None:
+        candidates = [
+            s
+            for s in engine_specs(family)
+            if s.complexity == "poly" and s.variant in ("overlap", "-")
+        ]
+        probe = None
+        if family in ("angle", "covering", "online"):
+            from repro.model.generators import uniform_angles
+
+            probe = uniform_angles(n=6, k=2, seed=0)
+        elif family == "sector":
+            from repro.model.generators import grid_city
+
+            probe = grid_city(n=6, seed=0)
+        names = [
+            s.name
+            for s in candidates
+            if probe is None or s.rejects(probe) is None
+        ]
+
+    suite: List[SolverSpec] = []
+    for name in names:
+        spec = get_spec(family, name)
+        beta = 1.0 - eps if (spec.supports_eps and eps < 1.0) else 1.0
+        if spec.exact:
+            guarantee: Optional[float] = 1.0
+        elif spec.guarantee_fn is not None:
+            guarantee = spec.guarantee_fn(beta)
+        else:
+            guarantee = None
+
+        def fn(instance, _name=name):
+            return engine_solve(
+                SolveRequest(
+                    instance=instance, family=family, algorithm=_name,
+                    eps=eps, seed=seed, use_cache=use_cache,
+                )
+            ).value
+
+        suite.append(SolverSpec(name=name, fn=fn, guarantee=guarantee))
+    return suite
 
 
 def compare_solvers(

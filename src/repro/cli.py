@@ -37,12 +37,12 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, Optional
-
-import numpy as np
+from typing import Optional
 
 from repro.analysis.tables import format_table
-from repro.knapsack import get_solver
+from repro.engine import SolveRequest
+from repro.engine import solve as engine_solve
+from repro.engine import solver_names, specs
 from repro.model import generators as gen
 from repro.model.instance import AngleInstance, SectorInstance
 from repro.model.serialization import (
@@ -50,16 +50,6 @@ from repro.model.serialization import (
     load_instance,
     save_instance,
     solution_to_dict,
-)
-from repro.packing import (
-    improve_solution,
-    solve_greedy_multi,
-    solve_lp_rounding,
-    solve_non_overlapping_dp,
-    solve_sector_greedy,
-    solve_sector_independent,
-    solve_shifting,
-    solve_exact_angle,
 )
 from repro.packing.bounds import combined_upper_bound
 
@@ -70,53 +60,19 @@ EXIT_USAGE = 2
 EXIT_INVALID_INPUT = 3
 EXIT_TIMEOUT = 4
 
-#: Angle-instance algorithms exposed by the CLI.
-ANGLE_ALGORITHMS = (
-    "greedy",
-    "greedy+ls",
-    "adaptive",
-    "dp-disjoint",
-    "shifting",
-    "insertion",
-    "lp-round",
-    "exact",
-)
 
-SECTOR_ALGORITHMS = ("greedy", "independent")
+def _solve_algorithm_choices() -> list:
+    """``solve --algorithm`` choices, generated from the engine registry."""
+    return ["auto"] + sorted(
+        set(solver_names("angle")) | set(solver_names("sector"))
+    )
 
 
-def _solve_angle(instance: AngleInstance, algorithm: str, eps: float):
-    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
-    exact_oracle = get_solver("exact")
-    if algorithm == "greedy":
-        return solve_greedy_multi(instance, oracle)
-    if algorithm == "greedy+ls":
-        base = solve_greedy_multi(instance, oracle)
-        return improve_solution(instance, base, oracle)
-    if algorithm == "adaptive":
-        return solve_greedy_multi(instance, oracle, adaptive=True)
-    if algorithm == "dp-disjoint":
-        return solve_non_overlapping_dp(instance, oracle)
-    if algorithm == "shifting":
-        return solve_shifting(instance, oracle)
-    if algorithm == "insertion":
-        from repro.packing.insertion import solve_insertion
-
-        return solve_insertion(instance, oracle)
-    if algorithm == "lp-round":
-        return solve_lp_rounding(instance, oracle)
-    if algorithm == "exact":
-        return solve_exact_angle(instance)
-    raise ValueError(f"unknown angle algorithm {algorithm!r}")
-
-
-def _solve_sector(instance: SectorInstance, algorithm: str, eps: float):
-    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
-    if algorithm == "greedy":
-        return solve_sector_greedy(instance, oracle)
-    if algorithm == "independent":
-        return solve_sector_independent(instance, oracle)
-    raise ValueError(f"unknown sector algorithm {algorithm!r}")
+def _exact_affordable(instance) -> bool:
+    """Whether exponential solvers belong in a compare table."""
+    if isinstance(instance, AngleInstance):
+        return instance.n <= 12
+    return instance.n <= 12 and instance.total_antennas <= 3
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -138,39 +94,45 @@ def cmd_solve(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
     from repro.obs import tracing
-    from repro.resilience import Budget, default_angle_chain
 
     inst = load_instance(args.instance)
     timeout = getattr(args, "timeout", None)
     use_fallback = getattr(args, "fallback", False)
-    if use_fallback and not isinstance(inst, AngleInstance):
-        print("--fallback currently supports angle instances only", file=sys.stderr)
-        return EXIT_USAGE
     trace_ctx = tracing(args.trace) if getattr(args, "trace", None) else nullcontext()
     chain_result = None
     start = time.perf_counter()
     with trace_ctx:
         if use_fallback:
-            chain = default_angle_chain(
+            from repro.resilience import default_chain_for
+
+            chain = default_chain_for(
+                inst,
                 eps=args.eps if args.eps < 1.0 else 0.25,
                 exact_timeout_s=timeout if timeout is not None else 1.0,
             )
             chain_result = chain.run(inst)
             sol = chain_result.solution
+            algo_label = "fallback-chain"
         else:
-            budget = Budget(wall_s=timeout) if timeout is not None else None
-            ctx = budget.activate() if budget is not None else nullcontext()
-            with ctx:
-                if isinstance(inst, AngleInstance):
-                    sol = _solve_angle(inst, args.algorithm, args.eps)
-                else:
-                    sol = _solve_sector(inst, args.algorithm, args.eps)
+            report = engine_solve(
+                SolveRequest(
+                    instance=inst,
+                    algorithm=args.algorithm,
+                    eps=args.eps,
+                    timeout_s=timeout,
+                )
+            )
+            sol = report.solution
+            algo_label = (
+                f"auto -> {report.algorithm}" if args.algorithm == "auto"
+                else report.algorithm
+            )
     seconds = time.perf_counter() - start
     if getattr(args, "trace", None):
         print(f"trace events written to {args.trace}")
     sol.verify(inst)
     rows = [
-        ["algorithm", "fallback-chain" if use_fallback else args.algorithm],
+        ["algorithm", algo_label],
         ["value", sol.value(inst)],
         ["served demand", sol.served_demand(inst)],
         ["total demand", inst.total_demand],
@@ -204,23 +166,28 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     inst = load_instance(args.instance)
+    family = "angle" if isinstance(inst, AngleInstance) else "sector"
+    exact_ok = _exact_affordable(inst)
     rows = []
-    if isinstance(inst, AngleInstance):
-        algos = [a for a in ANGLE_ALGORITHMS if a != "exact" or inst.n <= 12]
-        solver: Callable = _solve_angle
-    else:
-        algos = list(SECTOR_ALGORITHMS)
-        solver = _solve_sector
-    for algo in algos:
-        start = time.perf_counter()
-        try:
-            sol = solver(inst, algo, args.eps)
-        except (ValueError, RuntimeError) as exc:
-            rows.append([algo, "failed", 0.0, str(exc)[:40]])
+    for spec in specs(family):
+        if spec.name == "exact-anytime":
+            continue  # duplicates `exact` in a value table
+        if spec.complexity == "exponential" and not exact_ok:
             continue
-        seconds = time.perf_counter() - start
-        sol.verify(inst)
-        rows.append([algo, sol.value(inst), seconds, ""])
+        if spec.rejects(inst) is not None:
+            continue
+        try:
+            report = engine_solve(
+                SolveRequest(
+                    instance=inst, family=family, algorithm=spec.name,
+                    eps=args.eps, use_cache=False,
+                )
+            )
+        except (ValueError, RuntimeError) as exc:
+            rows.append([spec.name, "failed", 0.0, str(exc)[:40]])
+            continue
+        note = spec.variant if spec.variant != "overlap" else ""
+        rows.append([spec.name, report.value, report.seconds, note])
     print(
         format_table(
             ["algorithm", "value", "seconds", "note"],
@@ -232,54 +199,37 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_cover(args: argparse.Namespace) -> int:
-    from repro.packing.covering import cover_instance, verify_cover
-
     inst = load_instance(args.instance)
-    if not isinstance(inst, AngleInstance):
-        print("cover currently supports angle instances only", file=sys.stderr)
-        return 2
-    oracle = get_solver("fptas", eps=args.eps) if args.eps < 1.0 else get_solver("exact")
-    start = time.perf_counter()
-    res = cover_instance(inst, oracle)
-    seconds = time.perf_counter() - start
-    verify_cover(inst.thetas, inst.demands, inst.antennas[0], res)
+    # The engine verifies the cover and raises ValueError ("angle
+    # instances only" -> exit 2) on sector input.
+    report = engine_solve(
+        SolveRequest(instance=inst, family="covering", eps=args.eps)
+    )
     rows = [
-        ["antennas used", res.antennas_used],
-        ["lower bound", res.lower_bound],
-        ["gap", res.gap()],
-        ["seconds", seconds],
+        ["antennas used", int(report.value)],
+        ["lower bound", report.extra["lower_bound"]],
+        ["gap", report.extra["gap"]],
+        ["seconds", report.seconds],
     ]
     print(format_table(["metric", "value"], rows, title=f"cover {args.instance}"))
     return 0
 
 
 def cmd_online(args: argparse.Namespace) -> int:
-    from repro.online import (
-        OnlineAdmission,
-        POLICIES,
-        replay_offline_reference,
-        work_conserving_bound,
-    )
-    from repro.packing import solve_greedy_multi as _sgm
+    from repro.online import work_conserving_bound
 
     inst = load_instance(args.instance)
-    if not isinstance(inst, AngleInstance):
-        print("online currently supports angle instances only", file=sys.stderr)
-        return 2
-    oracle = get_solver("greedy")
-    plan = _sgm(inst, oracle, adaptive=True)
-    rng = np.random.default_rng(args.seed)
-    order = rng.permutation(inst.n)
-    thetas = inst.thetas[order]
-    demands = inst.demands[order]
-    offline = replay_offline_reference(inst.antennas, plan.orientations, thetas, demands)
-    floor = work_conserving_bound(inst.antennas, demands)
     rows = []
-    for name in sorted(POLICIES):
-        sim = OnlineAdmission(inst.antennas, plan.orientations, policy=name)
-        online = sim.run(thetas, demands)
-        rows.append([name, online, 1.0 if offline <= 0 else online / offline,
-                     sim.rejected_count])
+    offline = 0.0
+    for name in sorted(solver_names("online")):
+        report = engine_solve(
+            SolveRequest(instance=inst, family="online", algorithm=name,
+                         seed=args.seed)
+        )
+        offline = report.extra["offline_reference"]
+        rows.append([name, report.value, report.extra["competitive"],
+                     report.extra["rejected"]])
+    floor = work_conserving_bound(inst.antennas, inst.demands)
     print(
         format_table(
             ["policy", "accepted", "vs offline", "rejected"],
@@ -340,6 +290,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             eps=args.eps,
             tag=args.tag,
             timeout_s=args.timeout,
+            cache_bench=args.cache_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -364,8 +315,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_families(args: argparse.Namespace) -> int:
     print("angle families:  " + ", ".join(sorted(gen.ANGLE_FAMILIES)))
     print("sector families: " + ", ".join(sorted(gen.SECTOR_FAMILIES)))
-    print("angle algorithms:  " + ", ".join(ANGLE_ALGORITHMS))
-    print("sector algorithms: " + ", ".join(SECTOR_ALGORITHMS))
+    print()
+    rows = [
+        [s.name, s.family, s.variant, s.guarantee,
+         "exact" if s.exact else "approx", s.complexity]
+        for s in specs()
+    ]
+    print(
+        format_table(
+            ["solver", "family", "variant", "guarantee", "exactness", "complexity"],
+            rows,
+            title="registered solvers (repro.engine)",
+        )
+    )
     return 0
 
 
@@ -387,8 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("instance", help="instance JSON path")
     s.add_argument(
         "--algorithm",
-        default="greedy+ls",
-        choices=sorted(set(ANGLE_ALGORITHMS) | set(SECTOR_ALGORITHMS)),
+        default="auto",
+        choices=_solve_algorithm_choices(),
+        help="a registered engine solver, or 'auto' to let the planner "
+             "pick from instance size, variant and deadline",
     )
     s.add_argument("--eps", type=float, default=1.0,
                    help="< 1 uses the FPTAS oracle at this eps; 1 = exact oracle")
@@ -402,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "an expired deadline exits with code 4")
     s.add_argument("--fallback", action="store_true",
                    help="degrade exact -> fptas -> greedy instead of failing "
-                        "(--timeout bounds the exact stage; angle instances)")
+                        "(--timeout bounds the exact stage)")
     s.set_defaults(fn=cmd_solve)
 
     c = sub.add_parser("compare", help="run the solver suite on an instance")
@@ -444,6 +408,8 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--timeout", type=float, metavar="SECONDS",
                    help="per-solve budget; also enables the budget-bounded "
                         "anytime exact solver as a bench entry")
+    b.add_argument("--cache-bench", action="store_true",
+                   help="add the warm-vs-cold engine-cache benchmark section")
     b.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
     b.add_argument("--output", help="output path (default BENCH_<tag>.json)")
     b.add_argument("--check", metavar="PATH",

@@ -1,0 +1,50 @@
+"""Unified solver engine (registry + planner + cache + batched solves).
+
+Public surface (contract: ``docs/ENGINE.md``):
+
+* :class:`~repro.engine.registry.SolverSpec` / :func:`register` /
+  :func:`get_spec` / :func:`specs` / :func:`solver_names` — the single
+  declarative solver table every consumer (CLI, bench, fallback chains,
+  analysis harness) derives from;
+* :class:`~repro.engine.core.SolveRequest` /
+  :class:`~repro.engine.core.SolveReport` / :func:`solve` /
+  :func:`solve_many` — the uniform solve envelope;
+* :func:`~repro.engine.planner.plan` — ``algorithm="auto"`` resolution;
+* :mod:`repro.engine.cache` — instance-fingerprint result + precompute
+  caches (:func:`clear_caches`, ``engine.cache.*`` metrics);
+* :func:`check_registry` / :func:`smoke_check` — CI completeness gates.
+"""
+
+from repro.engine.cache import clear_caches, fingerprint
+from repro.engine.core import SolveRequest, SolveReport, solve, solve_many
+from repro.engine.planner import plan
+from repro.engine.registry import (
+    FAMILIES,
+    SolveContext,
+    SolverSpec,
+    check_registry,
+    get_spec,
+    register,
+    smoke_check,
+    solver_names,
+    specs,
+)
+
+__all__ = [
+    "FAMILIES",
+    "SolveContext",
+    "SolveRequest",
+    "SolveReport",
+    "SolverSpec",
+    "check_registry",
+    "clear_caches",
+    "fingerprint",
+    "get_spec",
+    "plan",
+    "register",
+    "smoke_check",
+    "solve",
+    "solve_many",
+    "solver_names",
+    "specs",
+]

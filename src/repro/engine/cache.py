@@ -1,0 +1,241 @@
+"""Instance-fingerprint caches: solve results and shared precomputation.
+
+Two process-wide LRU caches keyed by **content**, not identity:
+
+* the **result cache** memoizes full verified solve results under
+  ``(instance fingerprint, family, algorithm, eps, seed)``;
+* the **precompute cache** memoizes the expensive geometry shared by
+  otherwise-independent solvers — the enriched rotation-candidate grid
+  (:func:`repro.packing.canonical.rotation_candidates`) and the
+  :class:`~repro.geometry.sweep.CircularSweep` event structure — which
+  before this layer were recomputed independently by ``multi.py``,
+  ``exact.py`` and the CLI compare path for the *same* instance.
+
+Keying is a SHA-256 over the canonical content: array bytes plus the
+antenna/station scalars, via :func:`fingerprint`.  Two instances with
+equal content share entries no matter how they were constructed; any
+content change produces a new key, so there is no invalidation protocol —
+stale entries simply age out of the LRU.  This is sound because instances
+are immutable by contract (read-only arrays, frozen dataclasses) and a
+:class:`CircularSweep` is immutable after construction.
+
+Mutation safety: the result cache stores and returns **deep copies**, so
+callers may freely edit what they get back.  The precompute cache returns
+shared objects; they are immutable (candidate arrays are handed out
+read-only).
+
+Hit/miss/eviction counters live in the metrics registry under
+``engine.cache.*`` and ``engine.precompute.*`` (contract:
+``docs/OBSERVABILITY.md``).
+
+Budget-bounded solves are **never cached**: a deadline-truncated result
+is not canonical for the instance (see ``docs/ENGINE.md``).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.instance import AngleInstance, SectorInstance
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "LruCache",
+    "RESULT_CACHE",
+    "PRECOMPUTE_CACHE",
+    "fingerprint",
+    "result_key",
+    "shared_sweep",
+    "shared_rotation_candidates",
+    "clear_caches",
+]
+
+#: Default capacities.  Results hold full solutions (small: two arrays of
+#: size n/k); precompute entries hold sweeps (O(n log n) ints).
+RESULT_CACHE_MAXSIZE = 256
+PRECOMPUTE_CACHE_MAXSIZE = 128
+
+
+class LruCache:
+    """Thread-safe LRU with hit/miss/eviction counters in the registry.
+
+    ``metric_prefix`` names the counter family (``<prefix>.hits`` /
+    ``.misses`` / ``.evictions``).  ``copy_values=True`` deep-copies on
+    both ``put`` and ``get`` so cached payloads can never be mutated
+    through what callers hold.
+    """
+
+    def __init__(self, metric_prefix: str, maxsize: int, copy_values: bool = False):
+        reg = get_registry()
+        self._hits = reg.counter(f"{metric_prefix}.hits")
+        self._misses = reg.counter(f"{metric_prefix}.misses")
+        self._evictions = reg.counter(f"{metric_prefix}.evictions")
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._maxsize = int(maxsize)
+        self._copy = copy_values
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._hits.inc()
+                value = self._data[key]
+                return copy.deepcopy(value) if self._copy else value
+            self._misses.inc()
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data[key] = copy.deepcopy(value) if self._copy else value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self._evictions.inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def resize(self, maxsize: int) -> None:
+        """Shrink/grow capacity (evicting LRU-first); used by tests."""
+        with self._lock:
+            self._maxsize = int(maxsize)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self._evictions.inc()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+RESULT_CACHE = LruCache("engine.cache", RESULT_CACHE_MAXSIZE, copy_values=True)
+PRECOMPUTE_CACHE = LruCache("engine.precompute", PRECOMPUTE_CACHE_MAXSIZE)
+
+
+def clear_caches() -> None:
+    """Empty both caches (counters keep accumulating; reset them via the
+    metrics registry)."""
+    RESULT_CACHE.clear()
+    PRECOMPUTE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Content fingerprinting
+# ----------------------------------------------------------------------
+def _hash_array(h, arr: np.ndarray) -> None:
+    h.update(np.ascontiguousarray(arr).tobytes())
+
+
+def _hash_antenna(h, spec) -> None:
+    h.update(repr((spec.rho, spec.capacity, spec.radius, spec.name)).encode())
+
+
+def fingerprint(instance) -> str:
+    """Canonical SHA-256 content hash of an instance (hex digest).
+
+    Equal-content instances fingerprint identically regardless of how
+    they were built (generator, JSON round-trip, ``restrict()``...).
+    Computing it is linear in the instance size and costs microseconds at
+    the sizes the suite handles, so fingerprints are not memoized.
+    """
+    h = hashlib.sha256()
+    if isinstance(instance, AngleInstance):
+        h.update(b"angle")
+        _hash_array(h, instance.thetas)
+        _hash_array(h, instance.demands)
+        _hash_array(h, instance.profits)
+        for spec in instance.antennas:
+            _hash_antenna(h, spec)
+    elif isinstance(instance, SectorInstance):
+        h.update(b"sector")
+        _hash_array(h, instance.positions)
+        _hash_array(h, instance.demands)
+        _hash_array(h, instance.profits)
+        for station in instance.stations:
+            h.update(repr(station.position).encode())
+            for spec in station.antennas:
+                _hash_antenna(h, spec)
+    else:
+        raise TypeError(f"cannot fingerprint {type(instance).__name__}")
+    return h.hexdigest()
+
+
+def result_key(
+    instance, family: str, algorithm: str, eps: float, seed: int
+) -> Tuple:
+    """Cache key for a full solve result.
+
+    ``eps`` and ``seed`` are always part of the key: they are cheap to
+    include and make the key an honest function of everything that can
+    change a solver's output (eps selects the oracle, seed drives the
+    randomized rounding).
+    """
+    return (fingerprint(instance), family, algorithm, float(eps), int(seed))
+
+
+# ----------------------------------------------------------------------
+# Shared precomputation
+# ----------------------------------------------------------------------
+def _digest_floats(arr: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(np.asarray(arr, dtype=np.float64)).tobytes()
+    ).hexdigest()
+
+
+def shared_sweep(thetas: np.ndarray, rho: float):
+    """Get-or-build the :class:`CircularSweep` for ``(thetas, rho)``.
+
+    Sweeps are immutable after ``__init__`` (sorted order, window bounds
+    and canonical-window ids are precomputed), so one object is safely
+    shared across solvers and threads.
+    """
+    # Imported lazily: repro.packing modules import this module at import
+    # time, and geometry.sweep sits below them in the layering.
+    from repro.geometry.sweep import CircularSweep
+
+    key = ("sweep", _digest_floats(thetas), float(rho))
+    sweep = PRECOMPUTE_CACHE.get(key)
+    if sweep is None:
+        sweep = CircularSweep(thetas, rho)
+        PRECOMPUTE_CACHE.put(key, sweep)
+    return sweep
+
+
+def shared_rotation_candidates(
+    thetas: np.ndarray,
+    widths: Sequence[float],
+    stacking: Optional[int] = None,
+) -> np.ndarray:
+    """Get-or-build the enriched candidate grid for ``(thetas, widths)``.
+
+    Returns a **read-only** array shared between callers; copy before
+    mutating (``np.sort`` and friends already do).
+    """
+    # Lazy for the same layering reason as shared_sweep: repro.packing's
+    # package __init__ is mid-import when multi/exact import this module.
+    from repro.packing.canonical import rotation_candidates
+
+    widths_arr = np.asarray(sorted(float(w) for w in widths), dtype=np.float64)
+    key = (
+        "candidates",
+        _digest_floats(thetas),
+        widths_arr.tobytes(),
+        stacking,
+    )
+    cand = PRECOMPUTE_CACHE.get(key)
+    if cand is None:
+        cand = np.asarray(
+            rotation_candidates(thetas, widths, stacking=stacking),
+            dtype=np.float64,
+        )
+        cand.setflags(write=False)
+        PRECOMPUTE_CACHE.put(key, cand)
+    return cand

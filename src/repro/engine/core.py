@@ -1,0 +1,287 @@
+"""The solve engine: uniform request/report envelope over every solver.
+
+One entry point — :func:`solve` — replaces the per-call-site wiring that
+used to live in ``cli.py``, ``obs/bench.py`` and
+``resilience/fallbacks.py``:
+
+* **request** (:class:`SolveRequest`): instance + family + algorithm
+  (``"auto"`` invokes the planner) + eps/seed/timeout/guarantee;
+* **report** (:class:`SolveReport`): normalized result with the solved
+  value, wall time, cache provenance and family-specific extras
+  (certified bounds from anytime solves, cover lower bounds, online
+  competitive ratios).
+
+The engine owns the cross-cutting policy so solvers do not have to:
+oracle construction from eps, cooperative ``Budget`` activation from
+``timeout_s``, result verification, instance-fingerprint caching
+(:mod:`repro.engine.cache`) and telemetry (``engine.*`` metrics, see
+``docs/OBSERVABILITY.md``).  :func:`solve_many` fans requests over
+:func:`repro.parallel.pool.parallel_map` with per-request budgets and
+partial-result semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine import cache as _cache
+from repro.engine.planner import plan
+from repro.engine.registry import SolveContext, SolverSpec, get_spec
+from repro.obs.metrics import get_registry
+
+__all__ = ["SolveRequest", "SolveReport", "solve", "solve_many"]
+
+_REG = get_registry()
+_REQUESTS = _REG.counter("engine.requests")
+_PLANNED = _REG.counter("engine.planned")
+_SOLVE_TIMER = _REG.timer("engine.solve")
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve, fully specified by value (picklable for solve_many).
+
+    ``family="auto"`` infers angle/sector/knapsack from the payload type;
+    covering and online runs on angle instances must name their family
+    explicitly.  ``algorithm="auto"`` defers to the planner.
+    ``timeout_s`` becomes a cooperative ``Budget(wall_s=...)`` activated
+    around the solver (carrying a Budget object itself would not pickle).
+    """
+
+    instance: Any
+    family: str = "auto"
+    algorithm: str = "auto"
+    eps: float = 1.0
+    seed: int = 0
+    timeout_s: Optional[float] = None
+    guarantee: Optional[float] = None
+    variant: str = "overlap"
+    use_cache: bool = True
+    label: str = ""
+
+
+@dataclass
+class SolveReport:
+    """Normalized outcome of one engine solve.
+
+    ``value`` follows the family's objective sense: served profit for
+    angle/sector/knapsack/online (higher is better), antennas used for
+    covering (lower is better).  ``solution`` is the family-native result
+    object (AngleSolution, SectorSolution, FractionalSolution,
+    CoverResult, KnapsackResult, online stats dict); for anytime solves
+    it is the incumbent and ``extra`` carries the certified bounds.
+    ``error`` is set (and ``solution`` is None) only on ``solve_many``
+    partial failures — plain :func:`solve` raises instead.
+    """
+
+    family: str
+    algorithm: str
+    value: float = 0.0
+    solution: Any = None
+    seconds: float = 0.0
+    cached: bool = False
+    planned: bool = False
+    label: str = ""
+    error: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _infer_family(instance: Any) -> str:
+    from repro.model.instance import AngleInstance, SectorInstance
+
+    if isinstance(instance, AngleInstance):
+        return "angle"
+    if isinstance(instance, SectorInstance):
+        return "sector"
+    if isinstance(instance, (tuple, list)) and len(instance) == 3:
+        return "knapsack"
+    raise ValueError(
+        f"cannot infer solver family from {type(instance).__name__}; "
+        f"set SolveRequest.family explicitly"
+    )
+
+
+def _build_oracle(spec: SolverSpec, eps: float):
+    from repro.knapsack import get_solver
+
+    if spec.family == "knapsack":
+        return None  # knapsack specs *are* oracles
+    if spec.supports_eps and eps < 1.0:
+        return get_solver("fptas", eps=eps)
+    return get_solver("exact")
+
+
+def _normalize(result: Any, instance: Any, extra: Dict[str, Any]) -> tuple:
+    """Return ``(solution, value)`` and fill family-specific extras."""
+    from repro.knapsack.api import KnapsackResult
+    from repro.packing.covering import CoverResult
+    from repro.resilience.anytime import AnytimeOutcome
+
+    if isinstance(result, AnytimeOutcome):
+        extra["lower_bound"] = float(result.lower_bound)
+        extra["upper_bound"] = float(result.upper_bound)
+        extra["optimal"] = bool(result.optimal)
+        extra["reason"] = result.reason
+        return result.solution, float(result.solution.value(instance))
+    if isinstance(result, CoverResult):
+        extra["lower_bound"] = int(result.lower_bound)
+        extra["gap"] = float(result.gap())
+        extra["objective"] = "min_antennas"
+        return result, float(result.antennas_used)
+    if isinstance(result, KnapsackResult):
+        return result, float(result.value)
+    if isinstance(result, dict) and "value" in result:
+        extra.update({k: v for k, v in result.items() if k != "value"})
+        return result, float(result["value"])
+    if hasattr(result, "value") and callable(result.value):
+        return result, float(result.value(instance))
+    raise TypeError(f"solver returned unnormalizable {type(result).__name__}")
+
+
+def _verify(solution: Any, instance: Any, family: str) -> None:
+    if family == "knapsack":
+        import numpy as np
+
+        weights, profits, capacity = instance
+        solution.verify(
+            np.asarray(weights, dtype=np.float64),
+            np.asarray(profits, dtype=np.float64),
+            float(capacity),
+        )
+        return
+    if family == "covering":
+        from repro.packing.covering import verify_cover
+
+        verify_cover(instance.thetas, instance.demands, instance.antennas[0], solution)
+        return
+    verify = getattr(solution, "verify", None)
+    if callable(verify):
+        verify(instance)
+
+
+def solve(request: SolveRequest) -> SolveReport:
+    """Resolve, plan, solve, verify, and (maybe) cache one request.
+
+    Raises whatever the underlying solver raises (``BudgetExpired`` on an
+    expired ``timeout_s``, ``ValueError`` on inapplicable algorithms) —
+    error swallowing is :func:`solve_many`'s job, not this one's.
+    """
+    from contextlib import nullcontext
+
+    from repro.resilience.budget import Budget, current_budget
+
+    _REQUESTS.inc()
+    family = request.family if request.family != "auto" else _infer_family(request.instance)
+
+    planned = request.algorithm == "auto"
+    if planned:
+        _PLANNED.inc()
+        algorithm = plan(
+            request.instance,
+            family,
+            timeout_s=request.timeout_s,
+            guarantee=request.guarantee,
+            variant=request.variant,
+            eps=request.eps,
+        )
+    else:
+        algorithm = request.algorithm
+    spec = get_spec(family, algorithm)
+
+    reason = spec.rejects(request.instance)
+    if reason is not None:
+        raise ValueError(f"solver {family}/{algorithm} rejects this instance: {reason}")
+
+    # A deadline (explicit or ambient) makes the outcome time-dependent,
+    # hence non-canonical for the instance: never consult or fill the
+    # cache for such solves.  This also keeps `--timeout 0` failing
+    # deterministically with exit code 4 instead of answering from cache.
+    budgeted = request.timeout_s is not None or current_budget() is not None
+    cacheable = request.use_cache and not budgeted and family != "knapsack"
+    key = None
+    if cacheable:
+        key = _cache.result_key(
+            request.instance, family, algorithm, request.eps, request.seed
+        )
+        hit = _cache.RESULT_CACHE.get(key)
+        if hit is not None:
+            solution, value, extra = hit
+            return SolveReport(
+                family=family, algorithm=algorithm, value=value,
+                solution=solution, seconds=0.0, cached=True, planned=planned,
+                label=request.label, extra=dict(extra),
+            )
+
+    ctx = SolveContext(eps=request.eps, seed=request.seed,
+                       oracle=_build_oracle(spec, request.eps))
+    budget_ctx = (
+        Budget(wall_s=request.timeout_s).activate()
+        if request.timeout_s is not None
+        else nullcontext()
+    )
+    start = time.perf_counter()
+    with budget_ctx:
+        result = spec.run(request.instance, ctx)
+    seconds = time.perf_counter() - start
+    _SOLVE_TIMER.observe(seconds)
+
+    extra: Dict[str, Any] = {}
+    solution, value = _normalize(result, request.instance, extra)
+    _verify(solution, request.instance, family)
+
+    if cacheable:
+        _cache.RESULT_CACHE.put(key, (solution, value, extra))
+    return SolveReport(
+        family=family, algorithm=algorithm, value=value, solution=solution,
+        seconds=seconds, cached=False, planned=planned, label=request.label,
+        extra=extra,
+    )
+
+
+def _solve_worker(request: SolveRequest) -> SolveReport:
+    """Module-level (hence picklable) worker for :func:`solve_many`."""
+    try:
+        return solve(request)
+    except Exception as exc:  # noqa: BLE001 - converted to a partial report
+        family = request.family
+        if family == "auto":
+            try:
+                family = _infer_family(request.instance)
+            except ValueError:
+                family = "?"
+        return SolveReport(
+            family=family, algorithm=request.algorithm, label=request.label,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def solve_many(
+    requests: Sequence[SolveRequest],
+    workers: Optional[int] = None,
+    allow_partial: bool = True,
+) -> List[SolveReport]:
+    """Batched solve, fanned over the process pool, order-preserving.
+
+    Each request carries its own ``timeout_s`` (budgets are rebuilt inside
+    each worker — they do not cross process boundaries).  With
+    ``allow_partial=True`` (default) failures come back as reports with
+    ``error`` set; with ``allow_partial=False`` the first failure raises.
+
+    Worker processes have their own caches, so cross-request cache reuse
+    is only guaranteed for the serial fallback path (< 4 requests or
+    ``workers=1``); results returned to the parent are complete either
+    way.
+    """
+    from repro.parallel.pool import parallel_map
+
+    reports = parallel_map(_solve_worker, list(requests), workers=workers)
+    if not allow_partial:
+        for report in reports:
+            if report.error is not None:
+                raise RuntimeError(
+                    f"solve_many: {report.family}/{report.algorithm} "
+                    f"{report.label or ''} failed: {report.error}"
+                )
+    return reports

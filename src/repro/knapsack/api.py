@@ -8,6 +8,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.numerics import fits as _numerics_fits
 from repro.obs.metrics import get_registry
 from repro.resilience.budget import tick_oracle as _budget_tick_oracle
 
@@ -44,14 +45,15 @@ def _record_oracle(kind: str, n_items: int, seconds: float) -> None:
 
 
 def _fits(weight: float, remaining: float) -> bool:
-    """Shared capacity-fit predicate: absolute + relative 1e-12 slack.
+    """Shared capacity-fit predicate; delegates to :func:`repro.numerics.fits`.
 
     A pure ``weight <= remaining`` comparison breaks at exact-capacity
     boundaries (an item equal to the remaining capacity can differ by one
     ulp depending on summation order); every solver uses this predicate so
     they agree with each other and with the verifier's looser 1e-9 band.
+    The slack policy itself lives in :mod:`repro.numerics`.
     """
-    return weight <= remaining + 1e-12 * max(1.0, abs(remaining))
+    return _numerics_fits(weight, remaining)
 
 
 def _as_arrays(weights, profits) -> tuple[np.ndarray, np.ndarray]:

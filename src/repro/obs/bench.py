@@ -26,11 +26,10 @@ import json
 import platform
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.knapsack import get_solver
 from repro.model import generators as gen
 from repro.model.instance import AngleInstance
 from repro.obs.metrics import get_registry
@@ -39,7 +38,7 @@ from repro.obs.metrics import get_registry
 SCHEMA_NAME = "repro.bench"
 SCHEMA_VERSION = 1
 
-#: Solvers the default suite runs on angle instances (CLI algorithm names).
+#: Solvers the default suite runs on angle instances (bench names).
 DEFAULT_ANGLE_SOLVERS = ("greedy", "adaptive", "shifting", "dp-disjoint")
 
 #: Solvers the default suite runs on sector instances.
@@ -49,48 +48,27 @@ DEFAULT_SECTOR_SOLVERS = ("sector-greedy", "sector-independent")
 DEFAULT_FAMILIES = ("uniform", "clustered", "hotspot")
 
 
-def _angle_solver_table(oracle, timeout_s: Optional[float] = None) -> Dict[str, Callable]:
-    from repro.packing import (
-        improve_solution,
-        solve_greedy_multi,
-        solve_lp_rounding,
-        solve_non_overlapping_dp,
-        solve_shifting,
-    )
-    from repro.packing.exact import solve_exact_anytime
-    from repro.packing.insertion import solve_insertion
-    from repro.resilience import Budget
+def _bench_name_table() -> Dict[str, Tuple[str, str]]:
+    """Bench solver name -> engine ``(family, algorithm)``.
 
-    def run_exact_anytime(inst):
-        # A fresh budget per solve: the exact search runs bounded and
-        # returns its incumbent, so even E2-scale instances can sit in the
-        # bench table next to the polynomial solvers.
-        budget = Budget(wall_s=timeout_s if timeout_s is not None else 1.0)
-        return solve_exact_anytime(inst, budget=budget).solution
+    Derived from the engine registry (the bench no longer owns a solver
+    table).  Historical bench names are preserved: sector solvers carry a
+    ``sector-`` prefix, and ``exact`` is the budget-bounded anytime exact
+    solver — the only exact variant that can sit in a timing table next to
+    the polynomial solvers without hanging.  Fractional-variant solvers
+    are excluded: their values answer a different (relaxed) objective, so
+    ``ratio_vs_bound`` would not be comparable.
+    """
+    from repro.engine import specs
 
-    return {
-        "exact": run_exact_anytime,
-        "greedy": lambda inst: solve_greedy_multi(inst, oracle),
-        "adaptive": lambda inst: solve_greedy_multi(inst, oracle, adaptive=True),
-        "greedy+ls": lambda inst: improve_solution(
-            inst, solve_greedy_multi(inst, oracle), oracle
-        ),
-        "dp-disjoint": lambda inst: solve_non_overlapping_dp(inst, oracle),
-        "shifting": lambda inst: solve_shifting(inst, oracle),
-        "insertion": lambda inst: solve_insertion(inst, oracle),
-        "lp-round": lambda inst: solve_lp_rounding(
-            inst, oracle, rounds=5, max_candidates=60
-        ),
-    }
-
-
-def _sector_solver_table(oracle) -> Dict[str, Callable]:
-    from repro.packing import solve_sector_greedy, solve_sector_independent
-
-    return {
-        "sector-greedy": lambda inst: solve_sector_greedy(inst, oracle),
-        "sector-independent": lambda inst: solve_sector_independent(inst, oracle),
-    }
+    table: Dict[str, Tuple[str, str]] = {"exact": ("angle", "exact-anytime")}
+    for spec in specs("angle"):
+        if spec.complexity == "poly" and spec.variant != "fractional":
+            table[spec.name] = ("angle", spec.name)
+    for spec in specs("sector"):
+        if spec.complexity == "poly":
+            table[f"sector-{spec.name}"] = ("sector", spec.name)
+    return table
 
 
 def _make_instance(family: str, n: int, k: int, seed: int):
@@ -148,57 +126,85 @@ def run_bench(
     eps: float = 0.5,
     tag: str = "pr1",
     timeout_s: Optional[float] = None,
+    cache_bench: bool = False,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
-    ``solvers=None`` picks the default suite per instance kind; an explicit
-    list is validated against the solver tables.  ``eps < 1`` switches the
-    knapsack oracle from exact to the FPTAS at that ``eps``; the default is
-    the FPTAS at ``eps=0.5`` because the exact oracle's branch-and-bound
-    can explode on continuous-weight families at bench sizes.
+    Every solve routes through the unified engine
+    (:func:`repro.engine.solve`) with the result cache disabled and the
+    shared-precompute cache cleared per run, so every timing is a *cold*
+    solve and the numbers stay comparable across PRs.
 
-    ``timeout_s`` activates an ambient :class:`~repro.resilience.Budget`
-    around every solve (deadline-bounding the polynomial solvers too) and
-    sets the per-solve budget of the ``exact`` table entry — the anytime
-    exact search, which is only benchable *because* it is bounded.
+    ``solvers=None`` picks the default suite per instance kind; an
+    explicit list is validated against the registry-derived bench names.
+    ``eps < 1`` switches the knapsack oracle from exact to the FPTAS at
+    that ``eps``; the default is the FPTAS at ``eps=0.5`` because the
+    exact oracle's branch-and-bound can explode on continuous-weight
+    families at bench sizes.
+
+    ``timeout_s`` bounds the ``exact`` entry — the anytime exact search,
+    which is only benchable *because* it is bounded (default 1s).
+
+    ``cache_bench=True`` adds the optional additive ``cache_bench``
+    section: one warm-vs-cold repeated solve through the result cache,
+    with the hit/miss counters it produced.  Schema stays v1 — the
+    section is validated only when present.
     """
+    from repro.engine import SolveRequest, clear_caches
+    from repro.engine import solve as engine_solve
+
     if not families:
         raise ValueError("no families given")
-    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
-    angle_table = _angle_solver_table(oracle, timeout_s=timeout_s)
-    sector_table = _sector_solver_table(oracle)
-    known = set(angle_table) | set(sector_table)
+    name_table = _bench_name_table()
     if solvers is not None:
-        unknown = sorted(set(solvers) - known)
+        unknown = sorted(set(solvers) - set(name_table))
         if unknown:
             raise ValueError(
-                f"unknown solver(s) {unknown}; available: {sorted(known)}"
+                f"unknown solver(s) {unknown}; available: {sorted(name_table)}"
             )
 
     registry = get_registry()
     runs: List[dict] = []
+    last_angle_instance = None
     for family in families:
         for seed in seeds:
             instance = _make_instance(family, n=n, k=k, seed=int(seed))
             is_angle = isinstance(instance, AngleInstance)
-            table = angle_table if is_angle else sector_table
+            if is_angle:
+                last_angle_instance = instance
             if solvers is None:
                 names: Tuple[str, ...] = (
                     DEFAULT_ANGLE_SOLVERS if is_angle else DEFAULT_SECTOR_SOLVERS
                 )
             else:
-                names = tuple(s for s in solvers if s in table)
+                kind = "angle" if is_angle else "sector"
+                names = tuple(
+                    s for s in solvers if name_table[s][0] == kind
+                )
             ub = _upper_bound(instance)
             kk = instance.k if is_angle else instance.total_antennas
             for name in names:
-                solve = table[name]
+                spec_family, algorithm = name_table[name]
+                request = SolveRequest(
+                    instance=instance,
+                    family=spec_family,
+                    algorithm=algorithm,
+                    eps=eps,
+                    use_cache=False,
+                    # Only the anytime exact solver runs under a deadline;
+                    # the polynomial solvers are benched unbounded, as the
+                    # pre-engine harness did.
+                    timeout_s=(
+                        (timeout_s if timeout_s is not None else 1.0)
+                        if algorithm == "exact-anytime"
+                        else None
+                    ),
+                )
+                clear_caches()  # cold precompute: timings comparable across PRs
                 registry.reset()
-                t0 = time.perf_counter()
-                solution = solve(instance)
-                wall = time.perf_counter() - t0
-                solution.verify(instance)
+                report = engine_solve(request)
                 snap = registry.snapshot()
-                value = float(solution.value(instance))
+                value = report.value
                 oracle_calls = snap.get("oracle.calls", {}).get("value", 0)
                 windows = snap.get("rotation.candidate_windows", {}).get("value", 0)
                 runs.append(
@@ -209,7 +215,7 @@ def run_bench(
                         "k": int(kk),
                         "seed": int(seed),
                         "solver": name,
-                        "wall_time_s": float(wall),
+                        "wall_time_s": float(report.seconds),
                         "value": value,
                         "upper_bound": float(ub),
                         "ratio_vs_bound": float(value / ub) if ub > 0 else 1.0,
@@ -239,7 +245,10 @@ def run_bench(
     for s in summary.values():
         s["mean_ratio_vs_bound"] /= s["runs"]
 
-    return {
+    from repro.knapsack import get_solver
+
+    oracle = get_solver("fptas", eps=eps) if eps < 1.0 else get_solver("exact")
+    payload = {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
         "tag": tag,
@@ -262,6 +271,52 @@ def run_bench(
         "runs": runs,
         "summary": summary,
     }
+    if cache_bench:
+        if last_angle_instance is None:
+            raise ValueError("cache_bench needs at least one angle family")
+        payload["cache_bench"] = _run_cache_bench(last_angle_instance, eps=eps)
+    return payload
+
+
+def _run_cache_bench(instance, eps: float, solver: str = "greedy+ls") -> dict:
+    """Warm-vs-cold repeated solve through the engine result cache.
+
+    Cold: caches cleared, one full solve (a cache miss that fills the
+    entry).  Warm: the identical request again (a hit served from the
+    cache as a deep copy).  Returns wall times, the speedup and the
+    ``engine.cache`` counter deltas — the headline number the acceptance
+    bar reads (warm should be >= 5x faster than cold).
+    """
+    from repro.engine import SolveRequest, clear_caches
+    from repro.engine import solve as engine_solve
+
+    registry = get_registry()
+    clear_caches()
+    registry.reset()
+    request = SolveRequest(instance=instance, algorithm=solver, eps=eps)
+    t0 = time.perf_counter()
+    cold_report = engine_solve(request)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_report = engine_solve(request)
+    warm_s = time.perf_counter() - t0
+    snap = registry.snapshot()
+    if not warm_report.cached or warm_report.value != cold_report.value:
+        raise RuntimeError(
+            "cache bench invariant broken: warm solve was not an "
+            "identical-value cache hit"
+        )
+    return {
+        "solver": solver,
+        "n": int(instance.n),
+        "k": int(instance.k),
+        "cold_wall_time_s": float(cold_s),
+        "warm_wall_time_s": float(warm_s),
+        "speedup": float(cold_s / warm_s) if warm_s > 0 else float("inf"),
+        "value": float(cold_report.value),
+        "cache_hits": int(snap.get("engine.cache.hits", {}).get("value", 0)),
+        "cache_misses": int(snap.get("engine.cache.misses", {}).get("value", 0)),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +336,20 @@ _RUN_FIELDS: Dict[str, type] = {
     "oracle_calls": int,
     "candidate_windows": int,
     "phases": dict,
+}
+
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``cache_bench=True``; validated only when present.
+_CACHE_BENCH_FIELDS: Dict[str, type] = {
+    "solver": str,
+    "n": int,
+    "k": int,
+    "cold_wall_time_s": float,
+    "warm_wall_time_s": float,
+    "speedup": float,
+    "value": float,
+    "cache_hits": int,
+    "cache_misses": int,
 }
 
 _SUMMARY_FIELDS: Dict[str, type] = {
@@ -373,6 +442,14 @@ def validate_bench(payload: dict) -> dict:
     for name, s in summary.items():
         _check_fields(s, _SUMMARY_FIELDS, f"summary[{name!r}]")
         _check(s["runs"] > 0, f"summary[{name!r}].runs must be positive")
+    if "cache_bench" in payload:
+        cb = payload["cache_bench"]
+        _check(isinstance(cb, dict), "cache_bench must be an object")
+        _check_fields(cb, _CACHE_BENCH_FIELDS, "cache_bench")
+        _check(cb["cold_wall_time_s"] >= 0.0, "cache_bench.cold_wall_time_s negative")
+        _check(cb["warm_wall_time_s"] >= 0.0, "cache_bench.warm_wall_time_s negative")
+        _check(cb["cache_hits"] >= 0 and cb["cache_misses"] >= 0,
+               "cache_bench counters negative")
     return payload
 
 

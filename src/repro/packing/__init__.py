@@ -38,6 +38,7 @@ from repro.packing.lp import lp_upper_bound, solve_lp_rounding
 from repro.packing.flow import splittable_value, solve_splittable
 from repro.packing.exact import (
     solve_exact_angle,
+    solve_exact_anytime,
     solve_exact_fixed_orientations,
 )
 from repro.packing.shifting import solve_shifting
@@ -80,6 +81,7 @@ __all__ = [
     "splittable_value",
     "solve_splittable",
     "solve_exact_angle",
+    "solve_exact_anytime",
     "solve_exact_fixed_orientations",
     "solve_shifting",
     "solve_insertion",

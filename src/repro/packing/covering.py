@@ -28,7 +28,6 @@ result is reported together with an instance-specific optimality gap.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -40,6 +39,7 @@ from repro.knapsack.api import KnapsackSolver
 from repro.model.antenna import AntennaSpec
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.numerics import ceil_units, fits, overloads
 from repro.packing.single import best_rotation
 
 
@@ -102,7 +102,7 @@ def cover_lower_bound(
     demands = np.asarray(demands, dtype=np.float64)
     if demands.size == 0:
         return 0
-    cap_bound = int(math.ceil(demands.sum() / spec.capacity - 1e-9))
+    cap_bound = ceil_units(float(demands.sum()), spec.capacity)
     geo_bound = 0
     if spec.rho < TWO_PI:
         # count how many arcs of width rho are needed just to touch all
@@ -164,7 +164,7 @@ def greedy_cover(
             antennas_used=0,
             lower_bound=0,
         )
-    if (demands > spec.capacity * (1 + 1e-12)).any():
+    if (~fits(demands, spec.capacity)).any():
         bad = int(np.argmax(demands))
         raise InfeasibleCoverError(
             f"customer {bad} demands {demands[bad]} > capacity {spec.capacity}"
@@ -239,5 +239,5 @@ def verify_cover(
             if not arc.contains_angles(thetas[members]).all():
                 raise ValueError(f"antenna {j} assigned customers outside its arc")
             load = float(demands[members].sum())
-            if load > spec.capacity * (1 + 1e-9):
+            if overloads(load, spec.capacity):
                 raise ValueError(f"antenna {j} overloaded: {load} > {spec.capacity}")

@@ -30,12 +30,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.cache import shared_rotation_candidates, shared_sweep
 from repro.geometry.arcs import Arc, arcs_pairwise_disjoint
-from repro.geometry.sweep import CircularSweep
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.numerics import fits
 from repro.obs.metrics import get_registry
-from repro.packing.canonical import rotation_candidates
 from repro.packing.flow import covered_matrix
 from repro.resilience.anytime import AnytimeOutcome
 from repro.resilience.budget import Budget, BudgetExpired, current_budget
@@ -131,7 +131,7 @@ def exact_assignment(
             return
         # assign branches (most room first), then reject
         for j in np.argsort(-caps, kind="stable"):
-            if cov[t, j] and d[t] <= caps[j] * (1.0 + 1e-12):
+            if cov[t, j] and fits(d[t], caps[j]):
                 caps[j] -= d[t]
                 cur[t] = j
                 dfs(t + 1, caps, value + p[t])
@@ -189,7 +189,7 @@ def _orientation_candidates(
 ) -> List[List[float]]:
     """Candidate orientations per antenna, deduplicated by coverage."""
     if require_disjoint:
-        grid = rotation_candidates(
+        grid = shared_rotation_candidates(
             instance.thetas, [a.rho for a in instance.antennas]
         )
     else:
@@ -198,7 +198,7 @@ def _orientation_candidates(
     sweeps: dict = {}
     for spec in instance.antennas:
         if spec.rho not in sweeps:
-            sweeps[spec.rho] = CircularSweep(instance.thetas, spec.rho)
+            sweeps[spec.rho] = shared_sweep(instance.thetas, spec.rho)
         sweep = sweeps[spec.rho]
         starts: List[float] = []
         seen: set = set()
@@ -273,7 +273,7 @@ def _enumerate_exact(
     sweeps: dict = {}
     for spec in instance.antennas:
         if spec.rho not in sweeps:
-            sweeps[spec.rho] = CircularSweep(instance.thetas, spec.rho)
+            sweeps[spec.rho] = shared_sweep(instance.thetas, spec.rho)
 
     for tup in tuples:
         off = [j for j, t in enumerate(tup) if t is None]

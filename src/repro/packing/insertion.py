@@ -40,6 +40,7 @@ from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.numerics import fits
 
 
 def solve_insertion(
@@ -69,7 +70,7 @@ def solve_insertion(
         w = sweep.window(int(wid))
         cov = w.indices
         starts[a] = w.start
-        if float(demand_sums[wid]) <= spec.capacity * (1.0 + 1e-12):
+        if fits(float(demand_sums[wid]), spec.capacity):
             values[a] = float(instance.profits[cov].sum())
             picks.append(cov.copy())
         else:

@@ -21,6 +21,7 @@ from repro.geometry.arcs import Arc
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.numerics import fits
 from repro.packing.single import best_rotation
 
 
@@ -49,7 +50,7 @@ def _fill_pass(
         for j in range(instance.k):
             cap = instance.antennas[j].capacity
             if (
-                loads[j] + instance.demands[i] <= cap * (1.0 + 1e-12)
+                fits(loads[j] + instance.demands[i], cap)
                 and arcs[j].contains(float(instance.thetas[i]))
             ):
                 assignment[i] = j
@@ -90,7 +91,7 @@ def fill_active_antennas(
         for j, arc in arcs.items():
             cap = instance.antennas[j].capacity
             if (
-                loads[j] + instance.demands[i] <= cap * (1.0 + 1e-12)
+                fits(loads[j] + instance.demands[i], cap)
                 and arc.contains(float(instance.thetas[i]))
             ):
                 assignment[i] = j

@@ -37,13 +37,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geometry.angles import TWO_PI, ccw_delta
-from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.engine.cache import shared_rotation_candidates, shared_sweep
+from repro.numerics import fits
 from repro.obs import span
 from repro.obs.metrics import get_registry
-from repro.packing.canonical import rotation_candidates
 from repro.packing.single import best_rotation
 from repro.resilience.budget import checkpoint as _budget_checkpoint
 from repro.resilience.budget import tick_nodes as _budget_tick
@@ -159,7 +159,7 @@ def _window_profit_tables(
         key = (spec.rho, spec.capacity)
         if key in profits:
             continue
-        sweep = CircularSweep(instance.thetas, spec.rho)
+        sweep = shared_sweep(instance.thetas, spec.rho)
         vals = np.zeros(candidates.size, dtype=np.float64)
         sels: List[np.ndarray] = []
         for c_id, s in enumerate(candidates):
@@ -173,7 +173,7 @@ def _window_profit_tables(
                 sels.append(np.empty(0, dtype=np.intp))
                 continue
             total_dem = float(instance.demands[cov].sum())
-            if total_dem <= spec.capacity * (1.0 + 1e-12):
+            if fits(total_dem, spec.capacity):
                 vals[c_id] = float(instance.profits[cov].sum())
                 sels.append(cov.copy())
             else:
@@ -211,7 +211,7 @@ def solve_non_overlapping_dp(
         )
     widths = [a.rho for a in instance.antennas]
     if candidates is None:
-        candidates = rotation_candidates(instance.thetas, widths)
+        candidates = shared_rotation_candidates(instance.thetas, widths)
     candidates = np.sort(np.asarray(candidates, dtype=np.float64))
     m = candidates.size
     t_solve = time.perf_counter()

@@ -36,6 +36,7 @@ from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
+from repro.numerics import fits
 from repro.obs import span
 from repro.obs.metrics import get_registry
 from repro.resilience.budget import checkpoint as _budget_checkpoint
@@ -89,7 +90,7 @@ def solve_shifting(
             w = sweep.window(int(wid))
             cov = w.indices
             starts[a] = w.start
-            if float(demand_sums[wid]) <= spec.capacity * (1.0 + 1e-12):
+            if fits(float(demand_sums[wid]), spec.capacity):
                 values[a] = float(instance.profits[cov].sum())
                 picks.append(cov.copy())
             else:

@@ -36,6 +36,7 @@ from repro.knapsack.fractional import solve_fractional
 from repro.model.antenna import AntennaSpec
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution, FractionalSolution
+from repro.numerics import fits
 from repro.obs import span
 from repro.obs.metrics import get_registry
 
@@ -115,7 +116,7 @@ def best_rotation(
             visited += 1
             w = sweep.window(int(k))
             cov = w.indices
-            if demand_sums[k] <= spec.capacity * (1.0 + 1e-12):
+            if fits(float(demand_sums[k]), spec.capacity):
                 # Everything fits: the window's full profit is achievable.
                 fastpath += 1
                 best = RotationOutcome(

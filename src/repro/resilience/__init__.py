@@ -49,6 +49,9 @@ from repro.resilience.fallbacks import (
     FallbackExhausted,
     Stage,
     default_angle_chain,
+    default_chain_for,
+    default_sector_chain,
+    stage_from_spec,
 )
 
 __all__ = [
@@ -66,7 +69,10 @@ __all__ = [
     "ChainResult",
     "FallbackChain",
     "FallbackExhausted",
+    "stage_from_spec",
     "default_angle_chain",
+    "default_sector_chain",
+    "default_chain_for",
     # chaos
     "ChaosError",
     "ChaosPolicy",

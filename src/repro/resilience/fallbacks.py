@@ -40,7 +40,10 @@ __all__ = [
     "ChainResult",
     "FallbackChain",
     "FallbackExhausted",
+    "stage_from_spec",
     "default_angle_chain",
+    "default_sector_chain",
+    "default_chain_for",
 ]
 
 # Fallback telemetry (contract: docs/RESILIENCE.md).
@@ -200,6 +203,58 @@ def _unwrap(out) -> Tuple[Any, str, Optional[float], Optional[float]]:
     return out, "complete", None, None
 
 
+def stage_from_spec(
+    family: str,
+    algorithm: str,
+    *,
+    stage_name: Optional[str] = None,
+    eps: float = 1.0,
+    seed: int = 0,
+    oracle: str = "auto",
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    **stage_kwargs,
+) -> Stage:
+    """Build a :class:`Stage` from a registered engine solver.
+
+    The stage runs ``repro.engine`` spec ``(family, algorithm)`` under the
+    chain's per-stage budget.  ``oracle`` selects the inner knapsack
+    oracle: ``"auto"`` follows the engine policy (fptas when the spec
+    supports eps and ``eps < 1.0``, exact otherwise), or name one of
+    :data:`repro.knapsack.api.KNAPSACK_SOLVERS` explicitly (the floor of a
+    ladder typically wants ``"greedy"`` — near-linear, deadline-free).
+    """
+    # Imported lazily: repro.packing imports this package for budget
+    # checkpoints, so a module-level engine import here would be circular.
+    from repro.engine.registry import SolveContext, get_spec
+
+    spec = get_spec(family, algorithm)
+
+    def run(instance, budget):
+        from repro.knapsack import get_solver
+
+        if oracle == "auto":
+            if spec.supports_eps and eps < 1.0:
+                orc = get_solver("fptas", eps=eps)
+            else:
+                orc = get_solver("exact")
+        elif oracle == "fptas":
+            orc = get_solver("fptas", eps=eps if eps < 1.0 else 0.5)
+        else:
+            orc = get_solver(oracle)
+        # budget is already installed ambiently by the chain; specs that
+        # support budgets pick it up at their instrumented checkpoints.
+        return spec.run(instance, SolveContext(eps=eps, seed=seed, oracle=orc))
+
+    return Stage(
+        stage_name or algorithm,
+        run,
+        timeout_s=timeout_s,
+        retries=retries,
+        **stage_kwargs,
+    )
+
+
 def default_angle_chain(
     eps: float = 0.25,
     exact_timeout_s: float = 1.0,
@@ -210,32 +265,81 @@ def default_angle_chain(
     """The standard degradation ladder for angle instances.
 
     ``exact`` (budget-bounded, anytime unless ``anytime_exact=False``)
-    -> ``fptas(eps)`` greedy multi-knapsack -> ``greedy``.  The last stage
-    runs without a deadline: it is the floor of the ladder and its cost is
+    -> ``fptas(eps)`` greedy multi-knapsack -> ``greedy``.  Every rung is
+    a registry lookup (:func:`stage_from_spec`); the last stage runs
+    without a deadline: it is the floor of the ladder and its cost is
     near-linear.
     """
-    # Imported lazily: repro.packing imports this package for budget
-    # checkpoints, so a module-level import here would be circular.
-    from repro.knapsack import get_solver
-    from repro.packing.exact import solve_exact_angle, solve_exact_anytime
-    from repro.packing.multi import solve_greedy_multi
-
-    def run_exact(instance, budget):
-        if anytime_exact:
-            return solve_exact_anytime(instance, budget=budget)
-        return solve_exact_angle(instance)
-
-    def run_fptas(instance, budget):
-        return solve_greedy_multi(instance, get_solver("fptas", eps=eps))
-
-    def run_greedy(instance, budget):
-        return solve_greedy_multi(instance, get_solver("greedy"))
-
     return FallbackChain(
         [
-            Stage("exact", run_exact, timeout_s=exact_timeout_s, retries=retries),
-            Stage(f"fptas(eps={eps})", run_fptas, timeout_s=stage_timeout_s,
-                  retries=retries),
-            Stage("greedy", run_greedy, timeout_s=None, retries=retries),
+            stage_from_spec(
+                "angle", "exact-anytime" if anytime_exact else "exact",
+                stage_name="exact", timeout_s=exact_timeout_s, retries=retries,
+            ),
+            stage_from_spec(
+                "angle", "greedy", stage_name=f"fptas(eps={eps})", eps=eps,
+                timeout_s=stage_timeout_s, retries=retries,
+            ),
+            stage_from_spec(
+                "angle", "greedy", oracle="greedy", timeout_s=None,
+                retries=retries,
+            ),
         ]
+    )
+
+
+def default_sector_chain(
+    eps: float = 0.25,
+    exact_timeout_s: float = 1.0,
+    stage_timeout_s: Optional[float] = 5.0,
+    retries: int = 1,
+) -> FallbackChain:
+    """The standard degradation ladder for sector (2-D city) instances.
+
+    ``exact`` (budget-bounded orientation enumeration) -> ``fptas(eps)``
+    sector greedy -> ``greedy`` with the linear-time oracle, mirroring
+    :func:`default_angle_chain`.  Sector exactness has no anytime variant
+    yet, so an expiring exact stage falls through instead of returning an
+    incumbent.
+    """
+    return FallbackChain(
+        [
+            stage_from_spec(
+                "sector", "exact", timeout_s=exact_timeout_s, retries=retries,
+            ),
+            stage_from_spec(
+                "sector", "greedy", stage_name=f"fptas(eps={eps})", eps=eps,
+                timeout_s=stage_timeout_s, retries=retries,
+            ),
+            stage_from_spec(
+                "sector", "greedy", oracle="greedy", timeout_s=None,
+                retries=retries,
+            ),
+        ]
+    )
+
+
+def default_chain_for(
+    instance,
+    eps: float = 0.25,
+    exact_timeout_s: float = 1.0,
+    **kwargs,
+) -> FallbackChain:
+    """Pick the default degradation ladder for ``instance``'s geometry.
+
+    Dispatches on the instance type (angle vs sector); extra keyword
+    arguments are forwarded to the family's chain builder.
+    """
+    from repro.model.instance import AngleInstance, SectorInstance
+
+    if isinstance(instance, AngleInstance):
+        return default_angle_chain(
+            eps=eps, exact_timeout_s=exact_timeout_s, **kwargs
+        )
+    if isinstance(instance, SectorInstance):
+        return default_sector_chain(
+            eps=eps, exact_timeout_s=exact_timeout_s, **kwargs
+        )
+    raise TypeError(
+        f"no default fallback chain for {type(instance).__name__}"
     )

@@ -284,11 +284,15 @@ class TestErrorHygiene:
         assert "fallback-chain" in out
         assert "exact" in out
 
-    def test_fallback_sector_is_usage_error(self, tmp_path, capsys):
+    def test_fallback_sector_runs_chain(self, tmp_path, capsys):
+        # Sector chains are registry-driven now: --fallback degrades
+        # gracefully on 2-D city instances too instead of erroring out.
         inst = tmp_path / "s.json"
         run(["generate", "towns", inst, "--params", '{"n": 10}'])
-        assert run(["solve", inst, "--fallback"]) == 2
-        assert "angle instances only" in capsys.readouterr().err
+        assert run(["solve", inst, "--fallback"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback-chain" in out
+        assert "stage" in out
 
     def test_bench_timeout_bounds_exact_solver(self, tmp_path, capsys):
         from repro.obs.bench import load_bench
