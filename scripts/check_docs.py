@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Documentation lint: the docs may only promise what the code delivers.
+
+Run from the repo root (``scripts/smoke.sh`` does)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Four checks, all hard failures:
+
+1. **Docstring coverage** — every public module under ``repro`` and every
+   public top-level class/function in it carries a docstring (100%, no
+   budget).
+2. **Metric names** — every ``family.name`` metric token mentioned in
+   ``docs/`` and ``README.md`` exists in code: either registered in the
+   live metrics registry after importing every module, or present as a
+   string literal in ``src/`` (covers metrics minted at runtime, e.g.
+   per-oracle-kind breakdowns).
+3. **CLI flags** — every ``--flag`` mentioned in the docs is accepted by
+   the ``repro-sectors`` parser tree (any subcommand) or the bench
+   harness parser.
+4. **Relative links** — every relative markdown link target exists on
+   disk.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import importlib
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+DOC_FILES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+#: Metric families whose dotted names the docs must only mention if real.
+METRIC_PREFIXES = {
+    "oracle", "fptas", "sweep", "rotation", "solver", "phase", "lp",
+    "engine", "resilience", "chaos", "parallel", "service",
+}
+
+#: Doc flags with no argparse home (pytest plugins, external tools).
+FLAG_ALLOWLIST = {"--benchmark-only"}
+
+
+def iter_public_modules():
+    """Yield (name, module) for repro and every public submodule."""
+    import repro
+
+    yield "repro", repro
+    prefix = "repro."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield info.name, importlib.import_module(info.name)
+
+
+def check_docstrings(problems: list) -> int:
+    """Enforce 100% docstring coverage on the public surface; returns it."""
+    total = 0
+    for name, module in iter_public_modules():
+        total += 1
+        if not (module.__doc__ or "").strip():
+            problems.append(f"docstring: module {name} has no docstring")
+        public = getattr(module, "__all__", None)
+        for attr in dir(module):
+            if attr.startswith("_"):
+                continue
+            obj = getattr(module, attr)
+            if getattr(obj, "__module__", None) != name:
+                continue  # re-export; charged to its home module
+            if not (isinstance(obj, type) or callable(obj)):
+                continue
+            if public is not None and attr not in public:
+                continue
+            total += 1
+            if not (getattr(obj, "__doc__", None) or "").strip():
+                problems.append(f"docstring: {name}.{attr} has no docstring")
+    return total
+
+
+_METRIC_TOKEN = re.compile(r"`([a-z_]+(?:\.[a-z0-9_]+)+)`")
+
+
+def known_metric_names() -> set:
+    """Ground truth: live registry names + every string literal in src."""
+    from repro.obs import get_registry
+
+    names = set(get_registry().snapshot())
+    for path in SRC.rglob("*.py"):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+    return names
+
+
+def check_metric_names(problems: list) -> int:
+    """Every doc token that looks like a metric must exist in code."""
+    known = known_metric_names()
+    checked = 0
+    for doc in DOC_FILES:
+        for token in _METRIC_TOKEN.findall(doc.read_text(encoding="utf-8")):
+            family = token.split(".", 1)[0]
+            if family not in METRIC_PREFIXES:
+                continue  # dotted code reference (repro.engine etc.), not a metric
+            if "<" in token or "*" in token:
+                continue  # pattern rows like oracle.calls.<kind>
+            checked += 1
+            if token not in known:
+                problems.append(
+                    f"metric: {doc.name} mentions `{token}` "
+                    f"but no such metric exists in src/"
+                )
+    return checked
+
+
+def known_cli_flags() -> set:
+    """Every option string across the repro CLI tree + the bench harness."""
+    from repro.cli import build_parser
+
+    flags = set(FLAG_ALLOWLIST)
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+            flags.update(o for o in action.option_strings if o.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+
+    walk(build_parser())
+    harness = ROOT / "benchmarks" / "harness.py"
+    if harness.exists():
+        for match in re.findall(r"add_argument\(\s*[\"'](--[\w-]+)",
+                                harness.read_text(encoding="utf-8")):
+            flags.add(match)
+    return flags
+
+
+_FLAG_TOKEN = re.compile(r"(--[a-z][\w-]+)")
+
+
+def check_cli_flags(problems: list) -> int:
+    """Every --flag mentioned in the docs must be a real option."""
+    known = known_cli_flags()
+    checked = 0
+    for doc in DOC_FILES:
+        for flag in set(_FLAG_TOKEN.findall(doc.read_text(encoding="utf-8"))):
+            checked += 1
+            if flag not in known:
+                problems.append(
+                    f"cli-flag: {doc.name} mentions {flag} "
+                    f"but no parser accepts it"
+                )
+    return checked
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def check_links(problems: list) -> int:
+    """Every relative markdown link target must exist on disk."""
+    checked = 0
+    for doc in DOC_FILES:
+        for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            if not (doc.parent / target).exists():
+                problems.append(f"link: {doc.name} -> {target} does not exist")
+    return checked
+
+
+def main() -> int:
+    problems: list = []
+    symbols = check_docstrings(problems)
+    metrics = check_metric_names(problems)
+    flags = check_cli_flags(problems)
+    links = check_links(problems)
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(
+        f"check_docs: {symbols} public symbols, {metrics} metric mentions, "
+        f"{flags} flag mentions, {links} links checked, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

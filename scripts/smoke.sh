@@ -16,6 +16,11 @@ export PYTHONPATH=src
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== docs lint =="
+# 100% public docstring coverage; every metric name, CLI flag and relative
+# link mentioned in docs/ + README must exist (docs/INDEX.md conventions).
+python scripts/check_docs.py
+
 echo "== engine registry completeness =="
 # Every packing export must be claimed by a registered SolverSpec, every
 # knapsack oracle / online policy must be registered, and every spec must
@@ -55,5 +60,24 @@ python -m repro bench --families uniform --n 30 --seeds 0 \
     --solvers greedy,exact --timeout 1.0 --tag smoke-resilience \
     --output "$tmp/BENCH_resilience.json"
 python -m repro bench --check "$tmp/BENCH_resilience.json"
+
+echo "== service smoke =="
+# Serve on a unix socket, solve through the client, drain on SIGTERM
+# (docs/SERVICE.md): the server must answer while up and exit 0 on drain.
+sock="$tmp/repro.sock"
+python -m repro serve --port 0 --unix "$sock" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+done
+python -m repro client ping --unix "$sock"
+python -m repro client solve "$inst" --unix "$sock" --algorithm greedy --repeat 8
+kill -TERM "$serve_pid"
+code=0
+wait "$serve_pid" || code=$?
+if [ "$code" -ne 0 ]; then
+    echo "expected exit 0 from a drained service, got $code" >&2; exit 1
+fi
 
 echo "smoke OK"

@@ -23,12 +23,20 @@ Subcommands
     with ``--check``.
 ``families``
     List the registered instance families and solver names.
+``serve``
+    Run the batched async solver service (JSON-lines over TCP / Unix
+    socket, see ``docs/SERVICE.md``); drains gracefully on SIGTERM.
+``client``
+    Talk to a running service: ``solve`` / ``stats`` / ``ping`` /
+    ``shutdown``.
 
 Exit codes (error hygiene contract, ``docs/RESILIENCE.md``): ``0`` success,
 ``1`` unexpected internal error, ``2`` usage / unknown name, ``3`` invalid
 input (malformed JSON, bad instance fields, unreadable files), ``4``
-deadline expired (``--timeout`` without ``--fallback``).  Errors print one
-line to stderr — never a raw traceback.
+deadline expired (``--timeout`` without ``--fallback``), ``5`` request
+shed by an overloaded solver service (``client`` only, the wire status of
+``docs/SERVICE.md``).  Errors print one line to stderr — never a raw
+traceback.
 """
 
 from __future__ import annotations
@@ -54,11 +62,42 @@ from repro.model.serialization import (
 from repro.packing.bounds import combined_upper_bound
 
 #: CLI exit codes (documented in the module docstring / docs/RESILIENCE.md).
+#: The solver service reuses them as wire status codes (docs/SERVICE.md);
+#: EXIT_OVERLOADED is wire-born — the CLI only exits with it when
+#: ``client`` relays a shed response.
 EXIT_OK = 0
 EXIT_INTERNAL = 1
 EXIT_USAGE = 2
 EXIT_INVALID_INPUT = 3
 EXIT_TIMEOUT = 4
+EXIT_OVERLOADED = 5
+
+#: The ``--help`` epilog: the full exit-code contract in one place
+#: (mirrors docs/RESILIENCE.md and docs/SERVICE.md).
+_EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success
+  1  unexpected internal error (incl. infeasible solver output)
+  2  usage error / unknown name
+  3  invalid input (malformed JSON, bad instance fields, unreadable files)
+  4  deadline expired (--timeout without --fallback)
+  5  request shed by an overloaded solver service (client subcommand only)
+
+The same numbers are the solver service's wire status codes; full contract
+in docs/RESILIENCE.md and docs/SERVICE.md.
+"""
+
+
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 - uninstalled source checkout
+        import repro
+
+        return repro.__version__
 
 
 def _solve_algorithm_choices() -> list:
@@ -76,6 +115,7 @@ def _exact_affordable(instance) -> bool:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: write a seeded family instance as JSON."""
     params = json.loads(args.params) if args.params else {}
     params.setdefault("seed", args.seed)
     if args.family in gen.ANGLE_FAMILIES:
@@ -91,6 +131,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    """``solve``: run one algorithm (or the planner) on an instance file."""
     from contextlib import nullcontext
 
     from repro.obs import tracing
@@ -165,6 +206,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    """``compare``: table of every applicable solver on one instance."""
     inst = load_instance(args.instance)
     family = "angle" if isinstance(inst, AngleInstance) else "sector"
     exact_ok = _exact_affordable(inst)
@@ -199,6 +241,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_cover(args: argparse.Namespace) -> int:
+    """``cover``: the dual problem — antennas needed to serve everyone."""
     inst = load_instance(args.instance)
     # The engine verifies the cover and raises ValueError ("angle
     # instances only" -> exit 2) on sector input.
@@ -216,6 +259,7 @@ def cmd_cover(args: argparse.Namespace) -> int:
 
 
 def cmd_online(args: argparse.Namespace) -> int:
+    """``online``: replay the instance through the admission policies."""
     from repro.online import work_conserving_bound
 
     inst = load_instance(args.instance)
@@ -241,6 +285,7 @@ def cmd_online(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: instance statistics table (tightness, concentration)."""
     from repro.analysis.stats import instance_stats
     from repro.analysis.viz import render_instance
 
@@ -257,6 +302,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: the compact E1..E12 evaluation report."""
     from repro.analysis.report_runner import run_report
 
     print(run_report(seeds=args.seeds, quick=args.quick))
@@ -264,6 +310,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench``: run the bench suite / validate an existing payload."""
     from repro.obs.bench import load_bench, run_bench, validate_bench, write_bench
 
     if args.check:
@@ -291,6 +338,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             tag=args.tag,
             timeout_s=args.timeout,
             cache_bench=args.cache_bench,
+            service_bench=args.service_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -312,7 +360,93 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the solver service until a signal drains it."""
+    from repro.service.server import run_service
+
+    return run_service(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        max_batch=args.max_batch,
+        flush_interval_s=args.flush_ms / 1000.0,
+        queue_bound=args.queue_bound,
+        workers=args.workers,
+    )
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """``client``: talk to a running service (solve/stats/ping/shutdown)."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(host=args.host, port=args.port,
+                               unix_path=args.unix)
+    except (OSError, ServiceError) as exc:
+        print(f"error: cannot reach service: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    with client:
+        if args.action == "ping":
+            response = client.ping()
+            print(json.dumps(response))
+            return int(response.get("status", EXIT_INTERNAL))
+        if args.action == "shutdown":
+            response = client.shutdown()
+            print(json.dumps(response))
+            return int(response.get("status", EXIT_INTERNAL))
+        if args.action == "stats":
+            response = client.stats()
+            metrics = response.pop("metrics", {})
+            rows = [[k, v] for k, v in sorted(response.items()) if k != "id"]
+            print(format_table(["field", "value"], rows, title="service stats"))
+            service_rows = [
+                [name, json.dumps(payload)]
+                for name, payload in sorted(metrics.items())
+                if name.startswith(("service.", "engine.cache.", "engine.precompute."))
+            ]
+            if service_rows:
+                print()
+                print(format_table(["metric", "snapshot"], service_rows,
+                                   title="service metrics"))
+            return int(response.get("status", EXIT_INTERNAL))
+        # action == "solve"
+        if not args.instance:
+            print("error: client solve needs an instance path", file=sys.stderr)
+            return EXIT_USAGE
+        instance = load_instance(args.instance)
+        responses = client.solve_batch(
+            [instance] * args.repeat,
+            algorithm=args.algorithm,
+            eps=args.eps if args.eps != 1.0 else None,
+            timeout_s=args.timeout,
+            use_cache=None if args.no_cache is False else False,
+            want_solution=args.solution,
+        )
+    first = responses[0]
+    rows = [
+        ["status", first["status"]],
+        ["algorithm", first.get("algorithm", "?")],
+        ["value", first.get("value", 0.0)],
+        ["cached", first.get("cached", False)],
+        ["batch size (max)", max(r.get("batch_size", 1) for r in responses)],
+        ["requests", len(responses)],
+        ["ok", sum(1 for r in responses if r["status"] == EXIT_OK)],
+    ]
+    errors = [r for r in responses if r["status"] != EXIT_OK]
+    if errors:
+        rows.append(["first error", errors[0].get("error", "?")])
+    print(format_table(["metric", "value"], rows,
+                       title=f"client solve {args.instance}"))
+    if args.output and first.get("solution") is not None:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(json.dumps(first["solution"], indent=2))
+        print(f"solution written to {args.output}")
+    return int(errors[0]["status"]) if errors else EXIT_OK
+
+
 def cmd_families(args: argparse.Namespace) -> int:
+    """``families``: list generator families and their parameters."""
     print("angle families:  " + ", ".join(sorted(gen.ANGLE_FAMILIES)))
     print("sector families: " + ", ".join(sorted(gen.SECTOR_FAMILIES)))
     print()
@@ -332,10 +466,15 @@ def cmd_families(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro-sectors`` argparse tree (used by docs lint too)."""
     p = argparse.ArgumentParser(
         prog="repro-sectors",
         description="Packing to angles and sectors (SPAA 2007 reproduction)",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    p.add_argument("--version", action="version",
+                   version=f"%(prog)s {_version()}")
     sub = p.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="generate a synthetic instance")
@@ -410,6 +549,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "anytime exact solver as a bench entry")
     b.add_argument("--cache-bench", action="store_true",
                    help="add the warm-vs-cold engine-cache benchmark section")
+    b.add_argument("--service-bench", action="store_true",
+                   help="add the serving-throughput benchmark section "
+                        "(single vs batched vs warm-cache req/s)")
     b.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
     b.add_argument("--output", help="output path (default BENCH_<tag>.json)")
     b.add_argument("--check", metavar="PATH",
@@ -418,6 +560,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     f = sub.add_parser("families", help="list families and algorithms")
     f.set_defaults(fn=cmd_families)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the batched async solver service (docs/SERVICE.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    sv.add_argument("--port", type=int, default=7077,
+                    help="TCP port (0 binds an ephemeral port, printed on start)")
+    sv.add_argument("--unix", metavar="PATH",
+                    help="also listen on this Unix socket path")
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="most requests one solve_many dispatch carries")
+    sv.add_argument("--flush-ms", type=float, default=5.0,
+                    help="micro-batch flush interval in milliseconds")
+    sv.add_argument("--queue-bound", type=int, default=256,
+                    help="admission limit; excess requests are shed (status 5)")
+    sv.add_argument("--workers", type=int,
+                    help="process-pool workers for batched solves "
+                         "(default: REPRO_WORKERS or CPU count)")
+    sv.set_defaults(fn=cmd_serve)
+
+    cl = sub.add_parser(
+        "client",
+        help="talk to a running solver service (docs/SERVICE.md)",
+    )
+    cl.add_argument("action", choices=("solve", "stats", "ping", "shutdown"),
+                    help="what to ask the service")
+    cl.add_argument("instance", nargs="?", help="instance JSON path (solve)")
+    cl.add_argument("--host", default="127.0.0.1", help="service TCP address")
+    cl.add_argument("--port", type=int, default=7077, help="service TCP port")
+    cl.add_argument("--unix", metavar="PATH",
+                    help="connect over this Unix socket instead of TCP")
+    cl.add_argument("--algorithm", default="auto",
+                    help="engine solver name, or 'auto' for the planner")
+    cl.add_argument("--eps", type=float, default=1.0,
+                    help="< 1 uses the FPTAS oracle at this eps; 1 = exact oracle")
+    cl.add_argument("--timeout", type=float, metavar="SECONDS",
+                    help="end-to-end deadline (queue time counts; status 4 "
+                         "on expiry)")
+    cl.add_argument("--repeat", type=int, default=1, metavar="N",
+                    help="pipeline the same solve N times (exercises batching)")
+    cl.add_argument("--no-cache", action="store_true",
+                    help="bypass the service's warm result cache")
+    cl.add_argument("--solution", action="store_true",
+                    help="request the serialized solution in the response")
+    cl.add_argument("--output", help="write the returned solution JSON here")
+    cl.set_defaults(fn=cmd_client)
     return p
 
 

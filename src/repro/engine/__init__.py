@@ -9,6 +9,8 @@ Public surface (contract: ``docs/ENGINE.md``):
 * :class:`~repro.engine.core.SolveRequest` /
   :class:`~repro.engine.core.SolveReport` / :func:`solve` /
   :func:`solve_many` — the uniform solve envelope;
+* :func:`cache_probe` / :func:`cache_store` — parent-process warm-cache
+  helpers for batching front ends (:mod:`repro.service`);
 * :func:`~repro.engine.planner.plan` — ``algorithm="auto"`` resolution;
 * :mod:`repro.engine.cache` — instance-fingerprint result + precompute
   caches (:func:`clear_caches`, ``engine.cache.*`` metrics);
@@ -16,7 +18,14 @@ Public surface (contract: ``docs/ENGINE.md``):
 """
 
 from repro.engine.cache import clear_caches, fingerprint
-from repro.engine.core import SolveRequest, SolveReport, solve, solve_many
+from repro.engine.core import (
+    SolveReport,
+    SolveRequest,
+    cache_probe,
+    cache_store,
+    solve,
+    solve_many,
+)
 from repro.engine.planner import plan
 from repro.engine.registry import (
     FAMILIES,
@@ -36,6 +45,8 @@ __all__ = [
     "SolveRequest",
     "SolveReport",
     "SolverSpec",
+    "cache_probe",
+    "cache_store",
     "check_registry",
     "clear_caches",
     "fingerprint",

@@ -31,7 +31,14 @@ from repro.engine.planner import plan
 from repro.engine.registry import SolveContext, SolverSpec, get_spec
 from repro.obs.metrics import get_registry
 
-__all__ = ["SolveRequest", "SolveReport", "solve", "solve_many"]
+__all__ = [
+    "SolveRequest",
+    "SolveReport",
+    "solve",
+    "solve_many",
+    "cache_probe",
+    "cache_store",
+]
 
 _REG = get_registry()
 _REQUESTS = _REG.counter("engine.requests")
@@ -161,23 +168,19 @@ def _verify(solution: Any, instance: Any, family: str) -> None:
         verify(instance)
 
 
-def solve(request: SolveRequest) -> SolveReport:
-    """Resolve, plan, solve, verify, and (maybe) cache one request.
+def _resolve(request: SolveRequest) -> tuple:
+    """Resolve ``family``/``algorithm`` (running the planner for ``auto``).
 
-    Raises whatever the underlying solver raises (``BudgetExpired`` on an
-    expired ``timeout_s``, ``ValueError`` on inapplicable algorithms) —
-    error swallowing is :func:`solve_many`'s job, not this one's.
+    Pure: no metrics, no caching — shared by :func:`solve` and the
+    parent-process cache helpers so both agree on the resolved names.
+    Returns ``(family, algorithm, planned)``.
     """
-    from contextlib import nullcontext
-
-    from repro.resilience.budget import Budget, current_budget
-
-    _REQUESTS.inc()
-    family = request.family if request.family != "auto" else _infer_family(request.instance)
-
+    family = (
+        request.family if request.family != "auto"
+        else _infer_family(request.instance)
+    )
     planned = request.algorithm == "auto"
     if planned:
-        _PLANNED.inc()
         algorithm = plan(
             request.instance,
             family,
@@ -188,18 +191,92 @@ def solve(request: SolveRequest) -> SolveReport:
         )
     else:
         algorithm = request.algorithm
+    return family, algorithm, planned
+
+
+def _cacheable(request: SolveRequest, family: str) -> bool:
+    """Whether this request may consult/fill the result cache.
+
+    A deadline (explicit or ambient) makes the outcome time-dependent,
+    hence non-canonical for the instance: never cache such solves.  This
+    also keeps ``--timeout 0`` failing deterministically with exit code 4
+    instead of answering from cache.
+    """
+    from repro.resilience.budget import current_budget
+
+    budgeted = request.timeout_s is not None or current_budget() is not None
+    return request.use_cache and not budgeted and family != "knapsack"
+
+
+def cache_probe(request: SolveRequest) -> Optional[SolveReport]:
+    """Answer a request from this process's result cache, or ``None``.
+
+    Used by the batched service front end (:mod:`repro.service`) to serve
+    warm results from the *parent* process before fanning cache misses to
+    the worker pool (whose processes have their own, cold caches).
+    Resolution (family inference, planning) matches :func:`solve` exactly,
+    so a probe hit is indistinguishable from a cached engine solve.
+    """
+    family, algorithm, planned = _resolve(request)
+    if not _cacheable(request, family):
+        return None
+    key = _cache.result_key(
+        request.instance, family, algorithm, request.eps, request.seed
+    )
+    hit = _cache.RESULT_CACHE.get(key)
+    if hit is None:
+        return None
+    solution, value, extra = hit
+    return SolveReport(
+        family=family, algorithm=algorithm, value=value, solution=solution,
+        seconds=0.0, cached=True, planned=planned, label=request.label,
+        extra=dict(extra),
+    )
+
+
+def cache_store(request: SolveRequest, report: SolveReport) -> bool:
+    """Insert a completed report into this process's result cache.
+
+    The counterpart of :func:`cache_probe`: after ``solve_many`` fans a
+    batch to worker processes, the parent stores the returned reports so
+    later identical requests hit the warm cache.  Error reports, budgeted
+    solves and uncacheable families are skipped; returns whether the
+    report was stored.
+    """
+    if report.error is not None or report.solution is None:
+        return False
+    if not _cacheable(request, report.family):
+        return False
+    key = _cache.result_key(
+        request.instance, report.family, report.algorithm,
+        request.eps, request.seed,
+    )
+    _cache.RESULT_CACHE.put(key, (report.solution, report.value, dict(report.extra)))
+    return True
+
+
+def solve(request: SolveRequest) -> SolveReport:
+    """Resolve, plan, solve, verify, and (maybe) cache one request.
+
+    Raises whatever the underlying solver raises (``BudgetExpired`` on an
+    expired ``timeout_s``, ``ValueError`` on inapplicable algorithms) —
+    error swallowing is :func:`solve_many`'s job, not this one's.
+    """
+    from contextlib import nullcontext
+
+    from repro.resilience.budget import Budget
+
+    _REQUESTS.inc()
+    family, algorithm, planned = _resolve(request)
+    if planned:
+        _PLANNED.inc()
     spec = get_spec(family, algorithm)
 
     reason = spec.rejects(request.instance)
     if reason is not None:
         raise ValueError(f"solver {family}/{algorithm} rejects this instance: {reason}")
 
-    # A deadline (explicit or ambient) makes the outcome time-dependent,
-    # hence non-canonical for the instance: never consult or fill the
-    # cache for such solves.  This also keeps `--timeout 0` failing
-    # deterministically with exit code 4 instead of answering from cache.
-    budgeted = request.timeout_s is not None or current_budget() is not None
-    cacheable = request.use_cache and not budgeted and family != "knapsack"
+    cacheable = _cacheable(request, family)
     key = None
     if cacheable:
         key = _cache.result_key(

@@ -128,6 +128,7 @@ _REGISTRY: Dict[Tuple[str, str], SolverSpec] = {}
 
 
 def register(spec: SolverSpec) -> SolverSpec:
+    """Register a spec under ``(family, name)``; returns it (decorator-friendly)."""
     if spec.family not in FAMILIES:
         raise ValueError(f"unknown family {spec.family!r} (know {FAMILIES})")
     key = (spec.family, spec.name)
@@ -138,6 +139,7 @@ def register(spec: SolverSpec) -> SolverSpec:
 
 
 def get_spec(family: str, name: str) -> SolverSpec:
+    """Look up a registered spec; raises ``KeyError`` naming the options."""
     try:
         return _REGISTRY[(family, name)]
     except KeyError:
@@ -153,6 +155,7 @@ def specs(family: Optional[str] = None) -> List[SolverSpec]:
 
 
 def solver_names(family: str) -> List[str]:
+    """Registered algorithm names for one family, registration order."""
     return [s.name for s in specs(family)]
 
 

@@ -76,6 +76,7 @@ def angle_instance_to_dict(instance: AngleInstance) -> Dict[str, Any]:
 
 
 def angle_instance_from_dict(d: Dict[str, Any]) -> AngleInstance:
+    """Revive an :class:`AngleInstance` from its serialized dict."""
     if d.get("kind") != "angle":
         raise InvalidInstanceError(
             "kind", f"expected 'angle', got {d.get('kind')!r}"
@@ -118,6 +119,7 @@ def sector_instance_to_dict(instance: SectorInstance) -> Dict[str, Any]:
 
 
 def sector_instance_from_dict(d: Dict[str, Any]) -> SectorInstance:
+    """Revive a :class:`SectorInstance` from its serialized dict."""
     if d.get("kind") != "sector":
         raise InvalidInstanceError(
             "kind", f"expected 'sector', got {d.get('kind')!r}"
@@ -164,6 +166,7 @@ def sector_instance_from_dict(d: Dict[str, Any]) -> SectorInstance:
 
 
 def instance_to_dict(instance: Union[AngleInstance, SectorInstance]) -> Dict[str, Any]:
+    """Serialize either instance kind to its JSON-safe dict."""
     if isinstance(instance, AngleInstance):
         return angle_instance_to_dict(instance)
     if isinstance(instance, SectorInstance):
@@ -172,6 +175,7 @@ def instance_to_dict(instance: Union[AngleInstance, SectorInstance]) -> Dict[str
 
 
 def instance_from_dict(d: Dict[str, Any]) -> Union[AngleInstance, SectorInstance]:
+    """Revive either instance kind, dispatching on ``kind``."""
     kind = d.get("kind")
     if kind == "angle":
         return angle_instance_from_dict(d)
@@ -194,6 +198,7 @@ def load_instance(path: PathLike) -> Union[AngleInstance, SectorInstance]:
 # Solutions
 # ----------------------------------------------------------------------
 def solution_to_dict(solution: Union[AngleSolution, SectorSolution]) -> Dict[str, Any]:
+    """Serialize a solution (orientations + assignment) to a JSON-safe dict."""
     kind = "angle" if isinstance(solution, AngleSolution) else "sector"
     out = {
         "format": _FORMAT_VERSION,
@@ -207,6 +212,7 @@ def solution_to_dict(solution: Union[AngleSolution, SectorSolution]) -> Dict[str
 
 
 def solution_from_dict(d: Dict[str, Any]) -> Union[AngleSolution, SectorSolution]:
+    """Revive a solution, dispatching on ``kind``."""
     cls = AngleSolution if d.get("kind") == "angle" else SectorSolution
     return cls(
         orientations=np.asarray(d["orientations"], dtype=np.float64),
@@ -216,8 +222,10 @@ def solution_from_dict(d: Dict[str, Any]) -> Union[AngleSolution, SectorSolution
 
 
 def save_solution(solution: Union[AngleSolution, SectorSolution], path: PathLike) -> None:
+    """Write a solution to ``path`` as indented JSON."""
     Path(path).write_text(json.dumps(solution_to_dict(solution), indent=2))
 
 
 def load_solution(path: PathLike) -> Union[AngleSolution, SectorSolution]:
+    """Read a solution JSON file written by :func:`save_solution`."""
     return solution_from_dict(json.loads(Path(path).read_text()))

@@ -5,7 +5,8 @@ Three layers, one contract (``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.trace` — opt-in structured spans with a thread-safe
   buffer and a JSONL sink; near-zero overhead while disabled.
 * :mod:`repro.obs.metrics` — always-on :class:`Counter` / :class:`Timer` /
-  :class:`Gauge` aggregates behind one process-wide :class:`Registry`;
+  :class:`Gauge` / :class:`Histogram` aggregates behind one process-wide
+  :class:`Registry`;
   the instrumented hot paths (knapsack oracles, the circular sweep, every
   packing solver) report oracle-call counts, candidate-window counts, and
   per-phase wall time through it.
@@ -21,7 +22,14 @@ Three layers, one contract (``docs/OBSERVABILITY.md``):
 1
 """
 
-from repro.obs.metrics import Counter, Gauge, Registry, Timer, get_registry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Timer,
+    get_registry,
+)
 from repro.obs.trace import (
     disable_tracing,
     drain_events,
@@ -37,6 +45,7 @@ __all__ = [
     # metrics
     "Counter",
     "Gauge",
+    "Histogram",
     "Timer",
     "Registry",
     "get_registry",

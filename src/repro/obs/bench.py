@@ -127,6 +127,7 @@ def run_bench(
     tag: str = "pr1",
     timeout_s: Optional[float] = None,
     cache_bench: bool = False,
+    service_bench: bool = False,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -149,6 +150,11 @@ def run_bench(
     section: one warm-vs-cold repeated solve through the result cache,
     with the hit/miss counters it produced.  Schema stays v1 — the
     section is validated only when present.
+
+    ``service_bench=True`` adds the additive ``service_bench`` section
+    (``docs/SERVICE.md``): serving throughput through an in-process
+    :mod:`repro.service` instance — sequential single requests vs a
+    pipelined burst (micro-batched routing) vs a warm-cache pass.
     """
     from repro.engine import SolveRequest, clear_caches
     from repro.engine import solve as engine_solve
@@ -275,6 +281,8 @@ def run_bench(
         if last_angle_instance is None:
             raise ValueError("cache_bench needs at least one angle family")
         payload["cache_bench"] = _run_cache_bench(last_angle_instance, eps=eps)
+    if service_bench:
+        payload["service_bench"] = _run_service_bench(eps=eps)
     return payload
 
 
@@ -319,6 +327,91 @@ def _run_cache_bench(instance, eps: float, solver: str = "greedy+ls") -> dict:
     }
 
 
+def _run_service_bench(
+    eps: float,
+    n: int = 20,
+    k: int = 2,
+    requests: int = 200,
+    algorithm: str = "greedy",
+) -> dict:
+    """Serving throughput through an in-process solver service.
+
+    Three phases against one `start_in_thread` service on an ephemeral
+    port (small angle instances — the serving overhead is the subject,
+    not the solver):
+
+    * ``single_rps`` — sequential request/response solves with the cache
+      bypassed: every solve rides its own batch (occupancy 1);
+    * ``batched_rps`` — the same requests pipelined in one burst, cache
+      bypassed: the micro-batcher coalesces them into ``solve_many``
+      dispatches;
+    * ``warm_rps`` — the burst repeated with caching on after a priming
+      pass: served from the warm parent-process result cache.
+
+    ``requests`` distinct instances (cycling seeds) keep the cold phases
+    honest — no in-batch dedup, no accidental cache hits.
+    """
+    from repro.model.generators import uniform_angles
+    from repro.service import ServiceClient, start_in_thread
+
+    instances = [uniform_angles(n=n, k=k, seed=s) for s in range(requests)]
+    singles = instances[: max(1, requests // 4)]
+    handle = start_in_thread(port=0, max_batch=32, queue_bound=2 * requests)
+    max_batch_seen = 0
+    try:
+        with ServiceClient(port=handle.port, timeout_s=300.0) as client:
+            t0 = time.perf_counter()
+            for inst in singles:
+                response = client.solve(
+                    inst, algorithm=algorithm, eps=eps, use_cache=False
+                )
+                _require_ok(response, "service_bench single")
+            single_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            responses = client.solve_batch(
+                instances, algorithm=algorithm, eps=eps, use_cache=False
+            )
+            batched_s = time.perf_counter() - t0
+            for response in responses:
+                _require_ok(response, "service_bench batched")
+            max_batch_seen = max(r["batch_size"] for r in responses)
+
+            for response in client.solve_batch(
+                instances, algorithm=algorithm, eps=eps
+            ):  # priming pass fills the parent result cache
+                _require_ok(response, "service_bench priming")
+            t0 = time.perf_counter()
+            responses = client.solve_batch(instances, algorithm=algorithm, eps=eps)
+            warm_s = time.perf_counter() - t0
+            for response in responses:
+                _require_ok(response, "service_bench warm")
+            shed = int(
+                client.stats()["metrics"]
+                .get("service.shed", {})
+                .get("value", 0)
+            )
+    finally:
+        handle.stop()
+    return {
+        "algorithm": algorithm,
+        "n": int(n),
+        "k": int(k),
+        "requests": int(requests),
+        "single_rps": float(len(singles) / single_s) if single_s > 0 else 0.0,
+        "batched_rps": float(requests / batched_s) if batched_s > 0 else 0.0,
+        "warm_rps": float(requests / warm_s) if warm_s > 0 else 0.0,
+        "max_batch": int(max_batch_seen),
+        "shed": shed,
+    }
+
+
+def _require_ok(response: dict, where: str) -> None:
+    if response.get("status") != 0:
+        raise RuntimeError(f"{where}: status {response.get('status')}: "
+                           f"{response.get('error')}")
+
+
 # ----------------------------------------------------------------------
 # Schema validation (the contract scripts/smoke.sh enforces)
 # ----------------------------------------------------------------------
@@ -350,6 +443,20 @@ _CACHE_BENCH_FIELDS: Dict[str, type] = {
     "value": float,
     "cache_hits": int,
     "cache_misses": int,
+}
+
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``service_bench=True``; validated only when present.
+_SERVICE_BENCH_FIELDS: Dict[str, type] = {
+    "algorithm": str,
+    "n": int,
+    "k": int,
+    "requests": int,
+    "single_rps": float,
+    "batched_rps": float,
+    "warm_rps": float,
+    "max_batch": int,
+    "shed": int,
 }
 
 _SUMMARY_FIELDS: Dict[str, type] = {
@@ -450,6 +557,15 @@ def validate_bench(payload: dict) -> dict:
         _check(cb["warm_wall_time_s"] >= 0.0, "cache_bench.warm_wall_time_s negative")
         _check(cb["cache_hits"] >= 0 and cb["cache_misses"] >= 0,
                "cache_bench counters negative")
+    if "service_bench" in payload:
+        sb = payload["service_bench"]
+        _check(isinstance(sb, dict), "service_bench must be an object")
+        _check_fields(sb, _SERVICE_BENCH_FIELDS, "service_bench")
+        _check(sb["requests"] > 0, "service_bench.requests must be positive")
+        for rate in ("single_rps", "batched_rps", "warm_rps"):
+            _check(sb[rate] >= 0.0, f"service_bench.{rate} negative")
+        _check(sb["max_batch"] >= 1, "service_bench.max_batch must be >= 1")
+        _check(sb["shed"] >= 0, "service_bench.shed negative")
     return payload
 
 

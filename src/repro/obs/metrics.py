@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Dict, Union
 
-__all__ = ["Counter", "Gauge", "Timer", "Registry", "get_registry"]
+__all__ = ["Counter", "Gauge", "Timer", "Histogram", "Registry", "get_registry"]
 
 
 class Counter:
@@ -144,7 +145,76 @@ class Timer:
         }
 
 
-Metric = Union[Counter, Gauge, Timer]
+class Histogram:
+    """Sliding-window quantile meter (p50/p90/p99 over recent samples).
+
+    Keeps the last ``window`` observations in a bounded deque; the
+    snapshot sorts them (O(window log window), paid only when snapshotting)
+    and reports nearest-rank quantiles.  ``count``/``total`` aggregate over
+    *all* observations, not just the window, so throughput math stays
+    exact while the quantiles track recent behavior — the right trade for
+    long-lived servers (``service.latency`` in ``docs/SERVICE.md``).
+    """
+
+    __slots__ = ("_lock", "_window", "count", "total")
+
+    #: Default sample-window size; ~16 KiB of floats per histogram.
+    DEFAULT_WINDOW = 2048
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window: "deque[float]" = deque(maxlen=int(window))
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self._lock.acquire()
+        self.count += 1
+        self.total += v
+        self._window.append(v)
+        self._lock.release()
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the sample window (0.0 when empty)."""
+        with self._lock:
+            samples = sorted(self._window)
+        if not samples:
+            return 0.0
+        idx = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+        return samples[idx]
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._window.clear()
+            self.count = 0
+            self.total = 0.0
+
+    def _snapshot(self) -> dict:
+        with self._lock:
+            samples = sorted(self._window)
+            count, total = self.count, self.total
+
+        def rank(q: float) -> float:
+            idx = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+            return float(samples[idx])
+
+        if not samples:
+            return {"type": "histogram", "count": int(count), "total": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "type": "histogram",
+            "count": int(count),
+            "total": float(total),
+            "mean": float(total / count) if count else 0.0,
+            "p50": rank(0.50),
+            "p90": rank(0.90),
+            "p99": rank(0.99),
+            "max": float(samples[-1]),
+        }
+
+
+Metric = Union[Counter, Gauge, Timer, Histogram]
 
 
 class Registry:
@@ -180,6 +250,9 @@ class Registry:
 
     def timer(self, name: str) -> Timer:
         return self._get_or_create(name, Timer)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)  # type: ignore[return-value]
 
     def reset(self) -> None:
         """Zero every metric *in place* (registrations and handles survive)."""

@@ -1,0 +1,348 @@
+"""The micro-batcher: coalesce queued solve requests into engine batches.
+
+The serving hot path (``docs/SERVICE.md``): connections enqueue
+:class:`~repro.engine.SolveRequest`s onto one bounded :class:`asyncio.Queue`
+(admission control — a full queue sheds with status ``5``), and a single
+dispatcher task drains it into batches of up to ``max_batch`` requests,
+waiting at most ``flush_interval_s`` for stragglers after the first
+arrival.  Each batch runs off the event loop on a dedicated worker thread:
+
+1. **deadline shedding** — a request whose end-to-end deadline already
+   passed while queued is answered with status ``4`` without solving;
+   live requests get their ``timeout_s`` rewritten to the *remaining*
+   allowance, which the engine turns into a cooperative resilience
+   ``Budget``;
+2. **warm-cache serving** — :func:`repro.engine.cache_probe` answers
+   repeat requests from the parent-process result cache (worker processes
+   have their own cold caches, so probing before the fan-out is what makes
+   a long-lived service amortize anything);
+3. **in-batch dedup** — identical cacheable requests in one batch solve
+   once and share the report;
+4. **batched fan-out** — the remaining misses go through
+   :func:`repro.engine.solve_many` over the hardened process pool, and the
+   returned reports are stored back into the parent cache
+   (:func:`repro.engine.cache_store`).
+
+Queue depth, batch occupancy, shed/expired counts and end-to-end latency
+quantiles are reported through the standard metrics registry under the
+``service.*`` names frozen in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import List, Optional, Tuple
+
+from repro.engine import SolveReport, SolveRequest, cache_probe, cache_store
+from repro.engine.core import _resolve  # shared resolution, see engine docs
+from repro.obs.metrics import get_registry
+
+__all__ = ["Overloaded", "MicroBatcher", "run_batch"]
+
+_REG = get_registry()
+_REQUESTS = _REG.counter("service.requests")
+_RESPONSES = _REG.counter("service.responses")
+_SHED = _REG.counter("service.shed")
+_EXPIRED = _REG.counter("service.expired")
+_BATCHES = _REG.counter("service.batches")
+_CACHE_SERVED = _REG.counter("service.cache_served")
+_OCCUPANCY = _REG.gauge("service.batch_occupancy")
+_QUEUE_DEPTH = _REG.gauge("service.queue_depth")
+_LATENCY = _REG.histogram("service.latency")
+
+
+class Overloaded(RuntimeError):
+    """The admission queue is full (or draining): shed with status 5."""
+
+
+@dataclasses.dataclass
+class _Pending:
+    """One admitted request waiting for its batch.
+
+    ``deadline`` is absolute (``time.monotonic()``) — the envelope's
+    ``timeout_s`` is end-to-end from admission, so time spent queued
+    counts against it.
+    """
+
+    request: SolveRequest
+    future: "asyncio.Future[SolveReport]"
+    enqueued_at: float
+    deadline: Optional[float]
+
+
+def _probe(request: SolveRequest) -> Optional[SolveReport]:
+    """Parent-cache probe that never raises (a bad request is a miss —
+    ``solve_many`` will produce the proper error report)."""
+    try:
+        return cache_probe(request)
+    except Exception:  # noqa: BLE001 - probe must not sink the batch
+        return None
+
+
+def _dedup_key(request: SolveRequest) -> Optional[Tuple]:
+    """In-batch dedup key: the resolved result-cache key, or ``None``.
+
+    Only cacheable requests dedup (a budgeted or ``use_cache=False``
+    request must run on its own); resolution failures fall through to
+    ``solve_many`` for a proper error report.
+    """
+    from repro.engine.cache import result_key
+    from repro.engine.core import _cacheable
+
+    try:
+        family, algorithm, _ = _resolve(request)
+        if not _cacheable(request, family):
+            return None
+        return result_key(request.instance, family, algorithm,
+                          request.eps, request.seed)
+    except Exception:  # noqa: BLE001
+        return None
+
+
+def run_batch(
+    requests: List[SolveRequest], workers: Optional[int] = None
+) -> List[SolveReport]:
+    """Solve one coalesced batch (synchronous; runs on the batch thread).
+
+    Probe the warm parent cache first, dedup identical cacheable misses,
+    fan the unique misses through :func:`repro.engine.solve_many`, then
+    store the fresh results back into the parent cache.  Order-preserving;
+    every request gets a report (failures as ``error`` reports).
+    """
+    reports: List[Optional[SolveReport]] = [None] * len(requests)
+    miss_keys: dict = {}
+    unique: List[int] = []
+    alias: List[Tuple[int, int]] = []
+    for i, request in enumerate(requests):
+        hit = _probe(request)
+        if hit is not None:
+            _CACHE_SERVED.inc()
+            reports[i] = hit
+            continue
+        key = _dedup_key(request)
+        if key is not None and key in miss_keys:
+            alias.append((i, miss_keys[key]))
+            continue
+        if key is not None:
+            miss_keys[key] = i
+        unique.append(i)
+    if unique:
+        from repro.engine import solve_many
+
+        solved = solve_many([requests[i] for i in unique], workers=workers)
+        for i, report in zip(unique, solved):
+            reports[i] = report
+            cache_store(requests[i], report)
+    for i, j in alias:
+        source = reports[j]
+        assert source is not None
+        reports[i] = dataclasses.replace(
+            source, label=requests[i].label, cached=True
+        )
+    return [r for r in reports if r is not None]
+
+
+class MicroBatcher:
+    """Bounded admission queue + one dispatcher coalescing into batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Most requests one ``solve_many`` dispatch carries.
+    flush_interval_s:
+        How long the dispatcher waits for more requests after the first
+        one arrives before flushing a partial batch.
+    queue_bound:
+        Admission limit; :meth:`submit` raises :class:`Overloaded` when
+        the queue is full.
+    workers:
+        Worker-process count forwarded to ``solve_many`` (``None`` =
+        resolve from ``REPRO_WORKERS`` / CPU count).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 16,
+        flush_interval_s: float = 0.005,
+        queue_bound: int = 256,
+        workers: Optional[int] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {queue_bound}")
+        self.max_batch = int(max_batch)
+        self.flush_interval_s = float(flush_interval_s)
+        self.queue_bound = int(queue_bound)
+        self.workers = workers
+        self._queue: "asyncio.Queue[Optional[_Pending]]" = asyncio.Queue(
+            maxsize=queue_bound + 1  # +1 keeps room for the close sentinel
+        )
+        self._depth = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Admission (event-loop side)
+    # ------------------------------------------------------------------
+    def submit(self, request: SolveRequest) -> "asyncio.Future[SolveReport]":
+        """Admit one request; returns the future its report resolves.
+
+        Raises :class:`Overloaded` when the queue is at ``queue_bound`` or
+        the batcher is draining — the server turns that into a status-5
+        shed response (backpressure is explicit, never an unbounded queue).
+        """
+        if self._closed or self._depth >= self.queue_bound:
+            _SHED.inc()
+            raise Overloaded(
+                "draining" if self._closed else
+                f"queue full ({self.queue_bound} pending)"
+            )
+        now = time.monotonic()
+        pending = _Pending(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=now,
+            deadline=(
+                None if request.timeout_s is None else now + request.timeout_s
+            ),
+        )
+        self._queue.put_nowait(pending)
+        self._depth += 1
+        _REQUESTS.inc()
+        _QUEUE_DEPTH.set(self._depth)
+        return pending.future
+
+    def close(self) -> None:
+        """Stop admitting; the dispatcher drains what is queued, then exits."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(None)  # wake the dispatcher
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (admission-control observable)."""
+        return self._depth
+
+    # ------------------------------------------------------------------
+    # Dispatch (the batcher task)
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """The dispatcher loop: collect → dispatch until closed and empty."""
+        while True:
+            batch = await self._collect()
+            if batch is None:
+                return
+            await self._dispatch(batch)
+
+    async def _collect(self) -> Optional[List[_Pending]]:
+        """Gather up to ``max_batch`` requests, flushing after the interval.
+
+        Returns ``None`` when the batcher is closed and the queue is dry.
+        The close sentinel is re-queued whenever it is consumed with work
+        still pending, so the dispatcher always terminates exactly once —
+        after the last admitted request has been dispatched.
+        """
+        batch: List[_Pending] = []
+        first = await self._queue.get()
+        if first is None:
+            if self._queue.empty():
+                return None
+            # Drain requested but work remains: re-arm the sentinel (FIFO
+            # puts it behind the remaining items) and flush what's queued.
+            self._queue.put_nowait(None)
+        else:
+            batch.append(first)
+        flush_at = asyncio.get_running_loop().time() + self.flush_interval_s
+        while len(batch) < self.max_batch:
+            if self._closed:
+                # Draining: no stragglers are coming, flush immediately.
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                remaining = flush_at - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item is None:
+                self._queue.put_nowait(None)  # re-arm for the next collect
+                break
+            batch.append(item)
+        return batch
+
+    async def _dispatch(self, batch: List[_Pending]) -> None:
+        """Shed expired requests, solve the rest on the batch thread."""
+        if not batch:
+            return
+        self._depth -= len(batch)
+        _QUEUE_DEPTH.set(self._depth)
+        now = time.monotonic()
+        live: List[_Pending] = []
+        solves: List[SolveRequest] = []
+        for pending in batch:
+            if pending.deadline is not None:
+                remaining = pending.deadline - now
+                if remaining <= 0:
+                    _EXPIRED.inc()
+                    self._finish(
+                        pending,
+                        _expired_report(pending.request, now - pending.enqueued_at),
+                    )
+                    continue
+                # The engine rebuilds a Budget(wall_s=remaining) around the
+                # solver, so queue time counts against the caller's deadline.
+                solves.append(
+                    dataclasses.replace(pending.request, timeout_s=remaining)
+                )
+            else:
+                solves.append(pending.request)
+            live.append(pending)
+        if not live:
+            return
+        _BATCHES.inc()
+        _OCCUPANCY.set(len(live))
+        loop = asyncio.get_running_loop()
+        try:
+            reports = await loop.run_in_executor(
+                None, run_batch, solves, self.workers
+            )
+        except Exception as exc:  # noqa: BLE001 - keep the service alive
+            for pending in live:
+                self._finish(
+                    pending,
+                    SolveReport(
+                        family=pending.request.family,
+                        algorithm=pending.request.algorithm,
+                        label=pending.request.label,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            return
+        for pending, report in zip(live, reports):
+            report.extra.setdefault("batch_size", len(live))
+            self._finish(pending, report)
+
+    def _finish(self, pending: _Pending, report: SolveReport) -> None:
+        _RESPONSES.inc()
+        _LATENCY.observe(time.monotonic() - pending.enqueued_at)
+        if not pending.future.done():
+            pending.future.set_result(report)
+
+
+def _expired_report(request: SolveRequest, waited_s: float) -> SolveReport:
+    """The status-4 report for a request whose deadline passed in queue."""
+    return SolveReport(
+        family=request.family,
+        algorithm=request.algorithm,
+        label=request.label,
+        error=(
+            f"BudgetExpired: deadline expired after {waited_s:.3f}s in queue "
+            f"(timeout_s={request.timeout_s:g})"
+        ),
+    )

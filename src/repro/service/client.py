@@ -1,0 +1,194 @@
+"""Blocking JSON-lines client for the solver service (stdlib sockets).
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` envelopes
+over TCP or a Unix socket.  Two calling styles:
+
+* **request/response** — :meth:`solve` / :meth:`stats` / :meth:`ping` /
+  :meth:`shutdown` send one envelope and block for its answer;
+* **pipelined** — :meth:`solve_batch` writes every request before reading
+  any response, which is what lets the server's micro-batcher coalesce
+  them into one ``solve_many`` dispatch (responses are matched back into
+  submission order by ``id``, since the server answers out of order).
+
+The client never deserializes solutions eagerly: responses are plain
+dicts (see ``docs/SERVICE.md`` for the fields); pass ``want_solution=True``
+to receive the serialized solution and
+:func:`repro.model.serialization.solution_from_dict` to revive it.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Transport-level failure (closed socket, truncated line)."""
+
+
+def _instance_payload(instance: Any) -> Any:
+    """Serialize any supported instance shape for the wire."""
+    from repro.model.instance import AngleInstance, SectorInstance
+    from repro.model.serialization import instance_to_dict
+
+    if isinstance(instance, (AngleInstance, SectorInstance)):
+        return instance_to_dict(instance)
+    if isinstance(instance, dict):
+        return instance  # already serialized
+    if isinstance(instance, (tuple, list)) and len(instance) == 3:
+        weights, profits, capacity = instance
+        return [list(map(float, weights)), list(map(float, profits)),
+                float(capacity)]
+    raise TypeError(f"cannot serialize instance of type {type(instance).__name__}")
+
+
+class ServiceClient:
+    """One connection to a solver service.
+
+    Connect over TCP (``host``/``port``) or a Unix socket (``unix_path``
+    wins when given).  ``timeout_s`` is the per-read socket timeout —
+    generous by default because a pipelined burst may sit behind a long
+    batch.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        unix_path: Optional[str] = None,
+        timeout_s: float = 60.0,
+    ):
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _fresh_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    def _write(self, envelope: Dict[str, Any]) -> None:
+        self._sock.sendall(protocol.encode_line(envelope))
+
+    def _read_response(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("connection closed by the service")
+        return protocol.decode_line(line)
+
+    def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw envelope and block for the matching response."""
+        if "id" not in envelope:
+            envelope = {**envelope, "id": self._fresh_id()}
+        self._write(envelope)
+        wanted = envelope["id"]
+        while True:
+            response = self._read_response()
+            if response.get("id") == wanted:
+                return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness check (answered even under full load)."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        """Service state + full metric snapshot (``service.*`` et al.)."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the service to drain gracefully (same path as SIGTERM)."""
+        return self.request({"op": "shutdown"})
+
+    def _solve_envelope(self, instance: Any, **options) -> Dict[str, Any]:
+        envelope: Dict[str, Any] = {
+            "op": "solve",
+            "id": self._fresh_id(),
+            "instance": _instance_payload(instance),
+        }
+        want_solution = options.pop("want_solution", False)
+        if want_solution:
+            envelope["solution"] = True
+        for key, value in options.items():
+            if value is not None:
+                envelope[key] = value
+        return envelope
+
+    def solve(
+        self,
+        instance: Any,
+        family: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        eps: Optional[float] = None,
+        seed: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        label: Optional[str] = None,
+        use_cache: Optional[bool] = None,
+        want_solution: bool = False,
+    ) -> Dict[str, Any]:
+        """Solve one instance; returns the response dict (``status`` 0 = ok).
+
+        ``timeout_s`` is end-to-end from admission — queueing time counts,
+        and an expired deadline answers with status 4.
+        """
+        return self.request(
+            self._solve_envelope(
+                instance, family=family, algorithm=algorithm, eps=eps,
+                seed=seed, timeout_s=timeout_s, label=label,
+                use_cache=use_cache, want_solution=want_solution,
+            )
+        )
+
+    def solve_batch(
+        self,
+        instances: Union[Sequence[Any], Iterable[Any]],
+        **options,
+    ) -> List[Dict[str, Any]]:
+        """Pipeline many solves at once; returns responses in input order.
+
+        Writing every envelope before reading any response is what lets
+        the server coalesce the burst into ``solve_many`` batches — use
+        this (or many concurrent connections) to hit batched throughput.
+        Shared ``options`` (``algorithm=...``, ``timeout_s=...``,
+        ``want_solution=...``) apply to every request.
+        """
+        envelopes = [self._solve_envelope(inst, **dict(options))
+                     for inst in instances]
+        for envelope in envelopes:
+            self._write(envelope)
+        pending = {e["id"] for e in envelopes}
+        by_id: Dict[Any, Dict[str, Any]] = {}
+        while pending:
+            response = self._read_response()
+            rid = response.get("id")
+            if rid in pending:
+                pending.discard(rid)
+                by_id[rid] = response
+        return [by_id[e["id"]] for e in envelopes]

@@ -1,0 +1,222 @@
+"""The solver service wire protocol: JSON-lines envelopes + status codes.
+
+One request per line, one response per line, UTF-8 JSON (the full
+field-by-field contract is ``docs/SERVICE.md``).  Requests carry an ``op``
+(``solve`` / ``stats`` / ``ping`` / ``shutdown``) and a caller-chosen
+``id`` echoed back on the response; responses to a pipelined connection
+may arrive **out of order**, so the ``id`` is the correlation key.
+
+Status codes reuse the CLI exit-code contract (``docs/RESILIENCE.md``)
+so a failure means the same thing on the wire as it does in a shell:
+
+* ``0`` — success;
+* ``1`` — internal error (solver bug, infeasible solution);
+* ``2`` — usage error (unknown op/algorithm/family, malformed envelope);
+* ``3`` — invalid input (bad instance payload, malformed JSON line);
+* ``4`` — deadline expired (before dispatch or inside the solver);
+* ``5`` — overloaded: the request was shed (queue full or draining).
+
+``5`` is the only wire-born code: the CLI never exits with it except when
+``repro-sectors client`` relays a shed response.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.engine import SolveReport, SolveRequest
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_INTERNAL",
+    "STATUS_USAGE",
+    "STATUS_INVALID_INPUT",
+    "STATUS_TIMEOUT",
+    "STATUS_OVERLOADED",
+    "ProtocolError",
+    "encode_line",
+    "decode_line",
+    "envelope_to_request",
+    "report_to_response",
+    "error_response",
+    "status_from_error",
+]
+
+#: Wire status codes — the CLI exit-code contract plus ``5`` (shed).
+STATUS_OK = 0
+STATUS_INTERNAL = 1
+STATUS_USAGE = 2
+STATUS_INVALID_INPUT = 3
+STATUS_TIMEOUT = 4
+STATUS_OVERLOADED = 5
+
+#: Exception-type name (the prefix of ``SolveReport.error``) -> status.
+#: Mirrors the CLI's exception-to-exit-code mapping in ``repro.cli.main``.
+_ERROR_STATUS = {
+    "BudgetExpired": STATUS_TIMEOUT,
+    "InvalidInstanceError": STATUS_INVALID_INPUT,
+    "JSONDecodeError": STATUS_INVALID_INPUT,
+    "OSError": STATUS_INVALID_INPUT,
+    "FeasibilityError": STATUS_INTERNAL,
+    "ValueError": STATUS_USAGE,
+    "KeyError": STATUS_USAGE,
+    "TypeError": STATUS_USAGE,
+}
+
+#: Envelope fields a ``solve`` request may carry besides ``op``/``id``.
+_SOLVE_FIELDS = frozenset(
+    {"instance", "family", "algorithm", "eps", "seed", "timeout_s",
+     "guarantee", "variant", "use_cache", "label", "solution"}
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed envelope; carries the wire status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One JSON object, compact separators, newline-terminated, UTF-8."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into an envelope dict.
+
+    Raises :class:`ProtocolError` (status ``3``) on non-JSON input and
+    (status ``2``) when the payload is not a JSON object.
+    """
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(STATUS_INVALID_INPUT, f"malformed JSON line: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            STATUS_USAGE, f"envelope must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def _parse_instance(payload: Any, family: str) -> Any:
+    """Turn the envelope's ``instance`` field into an engine instance."""
+    from repro.model.serialization import instance_from_dict
+
+    if isinstance(payload, dict):
+        return instance_from_dict(payload)
+    if family == "knapsack":
+        # Knapsack instances are ``(weights, profits, capacity)`` triples.
+        if isinstance(payload, (list, tuple)) and len(payload) == 3:
+            weights, profits, capacity = payload
+            return (list(weights), list(profits), float(capacity))
+        raise ProtocolError(
+            STATUS_INVALID_INPUT,
+            "knapsack instance must be a [weights, profits, capacity] triple",
+        )
+    raise ProtocolError(
+        STATUS_INVALID_INPUT,
+        f"instance must be a serialized instance object, got "
+        f"{type(payload).__name__}",
+    )
+
+
+def envelope_to_request(envelope: Dict[str, Any]) -> SolveRequest:
+    """Validate a ``solve`` envelope and build the engine request.
+
+    Raises :class:`ProtocolError` with the right wire status on any
+    malformed field; instance deserialization errors surface as the typed
+    ``InvalidInstanceError`` the server maps to status ``3``.
+    """
+    unknown = set(envelope) - _SOLVE_FIELDS - {"op", "id"}
+    if unknown:
+        raise ProtocolError(
+            STATUS_USAGE, f"unknown envelope field(s): {sorted(unknown)}"
+        )
+    if "instance" not in envelope:
+        raise ProtocolError(STATUS_USAGE, "solve envelope missing 'instance'")
+    family = envelope.get("family", "auto")
+    try:
+        timeout_s = envelope.get("timeout_s")
+        request = SolveRequest(
+            instance=_parse_instance(envelope["instance"], family),
+            family=str(family),
+            algorithm=str(envelope.get("algorithm", "auto")),
+            eps=float(envelope.get("eps", 1.0)),
+            seed=int(envelope.get("seed", 0)),
+            timeout_s=None if timeout_s is None else float(timeout_s),
+            guarantee=(
+                None if envelope.get("guarantee") is None
+                else float(envelope["guarantee"])
+            ),
+            variant=str(envelope.get("variant", "overlap")),
+            use_cache=bool(envelope.get("use_cache", True)),
+            label=str(envelope.get("label", "")),
+        )
+    except (ValueError, TypeError) as exc:
+        if isinstance(exc, ProtocolError):
+            raise
+        raise ProtocolError(STATUS_USAGE, f"bad envelope field: {exc}")
+    if request.timeout_s is not None and request.timeout_s < 0:
+        raise ProtocolError(STATUS_USAGE, "timeout_s must be non-negative")
+    return request
+
+
+def status_from_error(error: Optional[str]) -> int:
+    """Map a ``SolveReport.error`` string (``"ExcType: msg"``) to a status."""
+    if not error:
+        return STATUS_OK
+    exc_type = error.split(":", 1)[0].strip()
+    return _ERROR_STATUS.get(exc_type, STATUS_INTERNAL)
+
+
+def _serialize_solution(solution: Any) -> Optional[Dict[str, Any]]:
+    """Best-effort solution payload (angle/sector solutions only)."""
+    from repro.model.serialization import solution_to_dict
+    from repro.model.solution import AngleSolution, SectorSolution
+
+    if isinstance(solution, (AngleSolution, SectorSolution)):
+        return solution_to_dict(solution)
+    return None
+
+
+def report_to_response(
+    request_id: Any,
+    report: SolveReport,
+    batch_size: int = 1,
+    include_solution: bool = False,
+) -> Dict[str, Any]:
+    """Render a :class:`SolveReport` as a wire response envelope.
+
+    ``batch_size`` is how many requests rode the same ``solve_many``
+    dispatch (1 for a cache hit) — the observable the coalescing tests
+    and the bench read.  ``include_solution`` attaches the serialized
+    solution for angle/sector families (other families' native results
+    are summarized by ``value``/``extra`` only).
+    """
+    status = status_from_error(report.error)
+    response: Dict[str, Any] = {
+        "id": request_id,
+        "status": status,
+        "family": report.family,
+        "algorithm": report.algorithm,
+        "value": float(report.value),
+        "seconds": float(report.seconds),
+        "cached": bool(report.cached),
+        "planned": bool(report.planned),
+        "batch_size": int(batch_size),
+        "extra": report.extra,
+        "error": report.error,
+    }
+    if report.label:
+        response["label"] = report.label
+    if include_solution and report.error is None:
+        response["solution"] = _serialize_solution(report.solution)
+    return response
+
+
+def error_response(request_id: Any, status: int, message: str) -> Dict[str, Any]:
+    """A failure envelope with no report behind it (shed, malformed...)."""
+    return {"id": request_id, "status": int(status), "error": message}

@@ -17,6 +17,13 @@ def test_readme_has_python_examples():
     assert len(python_blocks()) >= 1
 
 
+def test_readme_covers_the_service_layer():
+    """The serving quickstart must exist (and so gets executed below)."""
+    blocks = [b for b in python_blocks() if "repro.service" in b]
+    assert blocks, "README must carry a repro.service quickstart block"
+    assert any("solve_batch" in b and "start_in_thread" in b for b in blocks)
+
+
 @pytest.mark.parametrize("idx", range(len(python_blocks())))
 def test_readme_block_executes(idx, capsys):
     code = python_blocks()[idx]

@@ -1,0 +1,341 @@
+"""The solver service: protocol, batching, backpressure, drain, metrics.
+
+Everything here enforces the contracts frozen in ``docs/SERVICE.md``:
+wire status codes, micro-batch coalescing observable through
+``batch_size``, end-to-end deadlines (queue wait counts), load shedding
+at the queue bound, graceful SIGTERM drain (exit 0), and the
+``service.*`` metric names.  No pytest-asyncio here — async pieces run
+under ``asyncio.run`` and the full server runs via ``start_in_thread``
+or a subprocess.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import SolveRequest, clear_caches
+from repro.model import generators
+from repro.service import (
+    STATUS_INVALID_INPUT,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_TIMEOUT,
+    STATUS_USAGE,
+    MicroBatcher,
+    Overloaded,
+    ProtocolError,
+    ServiceClient,
+    start_in_thread,
+)
+from repro.service import protocol
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _instances(count, n=12, k=2):
+    return [generators.uniform_angles(n=n, k=k, seed=s) for s in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        envelope = {"op": "ping", "id": 7}
+        line = protocol.encode_line(envelope)
+        assert line.endswith(b"\n")
+        assert protocol.decode_line(line) == envelope
+
+    def test_malformed_json_is_invalid_input(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_line(b"{nope\n")
+        assert err.value.status == STATUS_INVALID_INPUT
+
+    def test_non_object_envelope_is_usage(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_line(b"[1, 2]\n")
+        assert err.value.status == STATUS_USAGE
+
+    def test_unknown_field_is_usage(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.envelope_to_request({"instance": {}, "algorthm": "greedy"})
+        assert err.value.status == STATUS_USAGE
+        assert "algorthm" in str(err.value)
+
+    def test_missing_instance_is_usage(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.envelope_to_request({"op": "solve"})
+        assert err.value.status == STATUS_USAGE
+
+    def test_status_from_error_mapping(self):
+        assert protocol.status_from_error(None) == STATUS_OK
+        assert protocol.status_from_error("BudgetExpired: x") == STATUS_TIMEOUT
+        assert (protocol.status_from_error("InvalidInstanceError: y")
+                == STATUS_INVALID_INPUT)
+        assert protocol.status_from_error("ValueError: z") == STATUS_USAGE
+        assert protocol.status_from_error("SomethingWeird: q") == 1
+
+    def test_knapsack_triple_instance(self):
+        request = protocol.envelope_to_request({
+            "instance": [[1.0, 2.0], [3.0, 4.0], 2.5],
+            "family": "knapsack",
+        })
+        assert request.family == "knapsack"
+        weights, profits, capacity = request.instance
+        assert capacity == 2.5 and len(weights) == len(profits) == 2
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher (event-loop level, no sockets)
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_queue_bound_sheds(self):
+        async def scenario():
+            batcher = MicroBatcher(queue_bound=2, flush_interval_s=0.001)
+            inst = _instances(1)[0]
+            batcher.submit(SolveRequest(instance=inst, algorithm="greedy"))
+            batcher.submit(SolveRequest(instance=inst, algorithm="greedy"))
+            with pytest.raises(Overloaded):
+                batcher.submit(SolveRequest(instance=inst, algorithm="greedy"))
+            assert batcher.depth == 2
+
+        asyncio.run(scenario())
+
+    def test_closed_batcher_sheds(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            batcher.close()
+            with pytest.raises(Overloaded):
+                batcher.submit(
+                    SolveRequest(instance=_instances(1)[0], algorithm="greedy")
+                )
+
+        asyncio.run(scenario())
+
+    def test_drain_completes_admitted_work(self):
+        """close() lets everything already admitted finish (the SIGTERM path)."""
+        async def scenario():
+            clear_caches()
+            batcher = MicroBatcher(max_batch=4, flush_interval_s=0.001)
+            futures = [
+                batcher.submit(
+                    SolveRequest(instance=inst, algorithm="greedy",
+                                 use_cache=False)
+                )
+                for inst in _instances(6)
+            ]
+            batcher.close()          # drain requested before any dispatch ran
+            await batcher.run()      # must terminate on its own...
+            assert all(f.done() for f in futures)
+            return [f.result() for f in futures]
+
+        reports = asyncio.run(scenario())
+        assert len(reports) == 6
+        assert all(r.error is None for r in reports)
+
+    def test_expired_deadline_sheds_without_solving(self):
+        async def scenario():
+            clear_caches()
+            batcher = MicroBatcher(max_batch=8, flush_interval_s=0.05)
+            inst = _instances(1)[0]
+            future = batcher.submit(
+                SolveRequest(instance=inst, algorithm="greedy",
+                             timeout_s=1e-9, use_cache=False)
+            )
+            await asyncio.sleep(0.01)  # let the deadline pass in the queue
+            batcher.close()
+            await batcher.run()
+            return future.result()
+
+        report = asyncio.run(scenario())
+        assert report.error is not None
+        assert report.error.startswith("BudgetExpired")
+        assert protocol.status_from_error(report.error) == STATUS_TIMEOUT
+
+
+# ----------------------------------------------------------------------
+# End-to-end over TCP (start_in_thread)
+# ----------------------------------------------------------------------
+class TestServiceEndToEnd:
+    def test_batch_coalescing_and_metrics(self):
+        clear_caches()
+        handle = start_in_thread(port=0, max_batch=16, flush_interval_s=0.02)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                assert client.ping()["status"] == STATUS_OK
+
+                responses = client.solve_batch(
+                    _instances(8), algorithm="greedy", use_cache=False
+                )
+                assert [r["status"] for r in responses] == [STATUS_OK] * 8
+                assert all(r["algorithm"] == "greedy" for r in responses)
+                # A pipelined burst must coalesce: the contract the
+                # micro-batcher exists for (docs/SERVICE.md).
+                assert max(r["batch_size"] for r in responses) > 1
+
+                # Repeat solve -> warm parent cache.
+                inst = _instances(1)[0]
+                first = client.solve(inst, algorithm="greedy")
+                again = client.solve(inst, algorithm="greedy")
+                assert first["status"] == again["status"] == STATUS_OK
+                assert again["cached"] is True
+                assert again["value"] == pytest.approx(first["value"])
+
+                stats = client.stats()
+                assert stats["status"] == STATUS_OK
+                assert stats["queue_bound"] == 256
+                metrics = stats["metrics"]
+                for name in [
+                    "service.requests", "service.responses", "service.shed",
+                    "service.expired", "service.batches",
+                    "service.cache_served", "service.batch_occupancy",
+                    "service.queue_depth", "service.latency",
+                    "service.connections",
+                ]:
+                    assert name in metrics, name
+                assert metrics["service.latency"]["type"] == "histogram"
+                assert metrics["service.latency"]["count"] >= 10
+                assert metrics["service.cache_served"]["value"] >= 1
+        finally:
+            handle.stop()
+
+    def test_wire_statuses_for_bad_requests(self):
+        handle = start_in_thread(port=0)
+        try:
+            with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b"not json\n")
+                assert json.loads(reader.readline())["status"] == STATUS_INVALID_INPUT
+                sock.sendall(b'{"op": "warp", "id": 1}\n')
+                response = json.loads(reader.readline())
+                assert response["id"] == 1
+                assert response["status"] == STATUS_USAGE
+                sock.sendall(b'{"op": "solve", "id": 2}\n')
+                assert json.loads(reader.readline())["status"] == STATUS_USAGE
+        finally:
+            handle.stop()
+
+    def test_deadline_expired_answers_status_4(self):
+        clear_caches()
+        handle = start_in_thread(port=0, flush_interval_s=0.05)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                response = client.solve(
+                    _instances(1)[0], algorithm="greedy",
+                    timeout_s=1e-9, use_cache=False,
+                )
+                assert response["status"] == STATUS_TIMEOUT
+                assert "BudgetExpired" in response["error"]
+        finally:
+            handle.stop()
+
+    def test_queue_bound_answers_status_5(self):
+        clear_caches()
+        handle = start_in_thread(
+            port=0, queue_bound=1, max_batch=1, flush_interval_s=0.5
+        )
+        try:
+            with ServiceClient(port=handle.port) as client:
+                responses = client.solve_batch(
+                    _instances(12, n=20), algorithm="greedy", use_cache=False
+                )
+                statuses = {r["status"] for r in responses}
+                shed = [r for r in responses if r["status"] == STATUS_OVERLOADED]
+                assert STATUS_OVERLOADED in statuses
+                assert all("shed" in r["error"] for r in shed)
+                assert any(r["status"] == STATUS_OK for r in responses)
+        finally:
+            handle.stop()
+
+    def test_solution_payload_round_trips(self):
+        from repro.model.serialization import solution_from_dict
+
+        clear_caches()
+        inst = _instances(1)[0]
+        handle = start_in_thread(port=0)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                response = client.solve(
+                    inst, algorithm="greedy", want_solution=True
+                )
+            assert response["status"] == STATUS_OK
+            solution = solution_from_dict(response["solution"])
+            solution.verify(inst)
+            assert solution.value(inst) == pytest.approx(response["value"])
+        finally:
+            handle.stop()
+
+    def test_shutdown_op_drains(self):
+        handle = start_in_thread(port=0)
+        with ServiceClient(port=handle.port) as client:
+            response = client.shutdown()
+            assert response["status"] == STATUS_OK and response["draining"]
+        handle.stop()  # must already be stopping; idempotent
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", handle.port), timeout=0.5)
+
+
+# ----------------------------------------------------------------------
+# The CLI pair: serve drains on SIGTERM, client relays wire statuses
+# ----------------------------------------------------------------------
+class TestServeProcess:
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        return env
+
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        sock_path = tmp_path / "repro.sock"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--unix", str(sock_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=self._env(), cwd=REPO,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not sock_path.exists():
+                assert time.monotonic() < deadline, "service never bound"
+                assert proc.poll() is None, proc.communicate()[1]
+                time.sleep(0.05)
+            with ServiceClient(unix_path=str(sock_path)) as client:
+                assert client.ping()["status"] == STATUS_OK
+                response = client.solve(
+                    _instances(1)[0], algorithm="greedy"
+                )
+                assert response["status"] == STATUS_OK
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        assert "serving on" in out
+        assert "drained cleanly" in out
+
+    def test_version_flag(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True, env=self._env(), cwd=REPO,
+        )
+        assert out.returncode == 0
+        assert out.stdout.strip().startswith("repro-sectors ")
+
+    def test_help_epilog_documents_exit_codes(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, env=self._env(), cwd=REPO,
+        )
+        assert out.returncode == 0
+        assert "exit codes:" in out.stdout
+        for code in range(6):
+            assert f"\n  {code}  " in out.stdout
