@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Compare two bench payloads and flag throughput regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.2]
+
+Diffs every *shared* throughput metric — sections or fields present in
+only one payload are reported as informational and never fail the
+comparison, so a newer payload may add sections (e.g. ``compile_bench``)
+without breaking comparisons against older baselines:
+
+* ``summary``     — per-solver solve throughput (``runs / total_wall_time_s``);
+* ``cache_bench`` — cold and warm solve rates plus the warm speedup;
+* ``service_bench`` — ``single_rps`` / ``batched_rps`` / ``warm_rps``;
+* ``compile_bench`` — cold/shared compile-amortized solve rates and speedup.
+
+Exit status: ``0`` when no shared metric regressed by more than
+``--threshold`` (default 20%), ``1`` when at least one did, ``2`` on
+bad inputs.  All metrics are oriented so that **higher is better**;
+micro-benchmark wall times are noisy, so the intended wiring is an
+*advisory* invocation (see ``scripts/smoke.sh``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, Tuple
+
+
+def _summary_throughputs(payload: dict) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for solver, stats in payload.get("summary", {}).items():
+        runs = stats.get("runs", 0)
+        secs = stats.get("total_wall_time_s", 0.0)
+        if runs and secs > 0:
+            out[f"summary.{solver}.solves_per_s"] = runs / secs
+    return out
+
+
+def _section_throughputs(payload: dict) -> Dict[str, float]:
+    """Flatten every higher-is-better rate the optional sections carry."""
+    out: Dict[str, float] = {}
+    cb = payload.get("cache_bench")
+    if cb:
+        for field in ("cold_wall_time_s", "warm_wall_time_s"):
+            if cb.get(field, 0.0) > 0:
+                name = field.replace("_wall_time_s", "_solves_per_s")
+                out[f"cache_bench.{name}"] = 1.0 / cb[field]
+        if "speedup" in cb:
+            out["cache_bench.speedup"] = cb["speedup"]
+    sb = payload.get("service_bench")
+    if sb:
+        for field in ("single_rps", "batched_rps", "warm_rps"):
+            if field in sb:
+                out[f"service_bench.{field}"] = sb[field]
+    pb = payload.get("compile_bench")
+    if pb:
+        for field in ("cold_solves_per_s", "shared_solves_per_s", "speedup"):
+            if field in pb:
+                out[f"compile_bench.{field}"] = pb[field]
+    return out
+
+
+def _throughputs(payload: dict) -> Dict[str, float]:
+    out = _summary_throughputs(payload)
+    out.update(_section_throughputs(payload))
+    return out
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != "repro.bench":
+        raise ValueError(f"{path}: not a repro.bench payload")
+    return payload
+
+
+def _compare(
+    base: Dict[str, float], cand: Dict[str, float], threshold: float
+) -> Iterator[Tuple[str, str, float, float, float]]:
+    """Yield ``(status, metric, baseline, candidate, ratio)`` rows."""
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            yield ("new", name, float("nan"), cand[name], float("nan"))
+            continue
+        if name not in cand:
+            yield ("gone", name, base[name], float("nan"), float("nan"))
+            continue
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        status = "REGRESSED" if ratio < 1.0 - threshold else "ok"
+        yield (status, name, base[name], cand[name], ratio)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="max tolerated fractional throughput drop (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        base = _throughputs(_load(args.baseline))
+        cand = _throughputs(_load(args.candidate))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+    if not base or not cand:
+        print("bench_compare: no throughput metrics found", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    shared = 0
+    width = max(len(name) for name in set(base) | set(cand))
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'candidate':>12}  ratio")
+    for status, name, b, c, ratio in _compare(base, cand, args.threshold):
+        if status == "new":
+            print(f"{name:<{width}}  {'-':>12}  {c:>12.3f}  (new section)")
+            continue
+        if status == "gone":
+            print(f"{name:<{width}}  {b:>12.3f}  {'-':>12}  (not in candidate)")
+            continue
+        shared += 1
+        marker = "  <-- REGRESSED" if status == "REGRESSED" else ""
+        print(f"{name:<{width}}  {b:>12.3f}  {c:>12.3f}  {ratio:5.2f}x{marker}")
+        if status == "REGRESSED":
+            regressions += 1
+    print(
+        f"\n{shared} shared metrics, {regressions} regressed more than "
+        f"{args.threshold:.0%} ({args.baseline} -> {args.candidate})"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

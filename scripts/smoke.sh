@@ -21,6 +21,16 @@ echo "== docs lint =="
 # link mentioned in docs/ + README must exist (docs/INDEX.md conventions).
 python scripts/check_docs.py
 
+echo "== ruff lint =="
+# Advisory-by-availability: ruff is not a dependency of this package, so
+# the gate only runs where a binary exists (config: pyproject.toml, rules
+# limited to pyflakes + import ordering).
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests scripts
+else
+    echo "ruff not installed; skipping lint"
+fi
+
 echo "== engine registry completeness =="
 # Every packing export must be claimed by a registered SolverSpec, every
 # knapsack oracle / online policy must be registered, and every spec must
@@ -42,6 +52,15 @@ out="$tmp/BENCH_smoke.json"
 python -m repro bench --families uniform --n 50 --seeds 0 \
     --solvers greedy,shifting --tag smoke --output "$out"
 python -m repro bench --check "$out"
+
+echo "== bench comparison (advisory) =="
+# Throughput diff between the two most recent committed payloads.  Wall
+# times from different machines/sessions are noisy, so a regression here
+# warns without failing the smoke (see scripts/bench_compare.py).
+if [ -f BENCH_pr4.json ] && [ -f BENCH_pr5.json ]; then
+    python scripts/bench_compare.py BENCH_pr4.json BENCH_pr5.json ||
+        echo "bench_compare: advisory throughput regression (not fatal)"
+fi
 
 echo "== resilience smoke =="
 inst="$tmp/inst.json"

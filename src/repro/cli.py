@@ -339,6 +339,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             cache_bench=args.cache_bench,
             service_bench=args.service_bench,
+            compile_bench=args.compile_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -402,7 +403,7 @@ def cmd_client(args: argparse.Namespace) -> int:
             service_rows = [
                 [name, json.dumps(payload)]
                 for name, payload in sorted(metrics.items())
-                if name.startswith(("service.", "engine.cache.", "engine.precompute."))
+                if name.startswith(("service.", "engine.cache.", "engine.compile."))
             ]
             if service_rows:
                 print()
@@ -552,6 +553,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--service-bench", action="store_true",
                    help="add the serving-throughput benchmark section "
                         "(single vs batched vs warm-cache req/s)")
+    b.add_argument("--compile-bench", action="store_true",
+                   help="add the compiled-instance benchmark section "
+                        "(per-call compilation vs one shared compiled view)")
     b.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
     b.add_argument("--output", help="output path (default BENCH_<tag>.json)")
     b.add_argument("--check", metavar="PATH",

@@ -1,0 +1,28 @@
+"""Core shared-precomputation layer.
+
+:mod:`repro.core.compiled` holds the struct-of-arrays "compiled" view of a
+problem instance — the common precomputation prefix (sorts, prefix sums,
+candidate grids, per-station polar conversions) that every solver family
+needs.  See ``docs/ARCHITECTURE.md`` for where this layer sits in the
+stack.
+"""
+
+from repro.core.compiled import (
+    CompiledAngleInstance,
+    CompiledInstance,
+    CompiledItems,
+    CompiledSectorInstance,
+    CompiledStation,
+    compile_instance,
+    compile_items,
+)
+
+__all__ = [
+    "CompiledInstance",
+    "CompiledAngleInstance",
+    "CompiledSectorInstance",
+    "CompiledStation",
+    "CompiledItems",
+    "compile_instance",
+    "compile_items",
+]

@@ -1,15 +1,15 @@
-"""Instance-fingerprint caches: solve results and shared precomputation.
+"""Instance-fingerprint caches: solve results and compiled instances.
 
 Two process-wide LRU caches keyed by **content**, not identity:
 
 * the **result cache** memoizes full verified solve results under
   ``(instance fingerprint, family, algorithm, eps, seed)``;
-* the **precompute cache** memoizes the expensive geometry shared by
-  otherwise-independent solvers — the enriched rotation-candidate grid
-  (:func:`repro.packing.canonical.rotation_candidates`) and the
-  :class:`~repro.geometry.sweep.CircularSweep` event structure — which
-  before this layer were recomputed independently by ``multi.py``,
-  ``exact.py`` and the CLI compare path for the *same* instance.
+* the **compile cache** memoizes the
+  :class:`~repro.core.compiled.CompiledInstance` view — the sorted-angle
+  permutations, demand/profit prefix sums, shared sweeps and candidate
+  grids that every solver consumes — so ``solve_many`` batches and the
+  service's micro-batcher compile each distinct instance once, no matter
+  how many requests reference equal content.
 
 Keying is a SHA-256 over the canonical content: array bytes plus the
 antenna/station scalars, via :func:`fingerprint`.  Two instances with
@@ -17,15 +17,15 @@ equal content share entries no matter how they were constructed; any
 content change produces a new key, so there is no invalidation protocol —
 stale entries simply age out of the LRU.  This is sound because instances
 are immutable by contract (read-only arrays, frozen dataclasses) and a
-:class:`CircularSweep` is immutable after construction.
+compiled view is append-only after construction (its internal memo tables
+only accrete sweeps for new widths).
 
 Mutation safety: the result cache stores and returns **deep copies**, so
-callers may freely edit what they get back.  The precompute cache returns
-shared objects; they are immutable (candidate arrays are handed out
-read-only).
+callers may freely edit what they get back.  The compile cache returns
+shared objects; their arrays are handed out read-only.
 
 Hit/miss/eviction counters live in the metrics registry under
-``engine.cache.*`` and ``engine.precompute.*`` (contract:
+``engine.cache.*`` and ``engine.compile.*`` (contract:
 ``docs/OBSERVABILITY.md``).
 
 Budget-bounded solves are **never cached**: a deadline-truncated result
@@ -38,7 +38,7 @@ import copy
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional, Sequence, Tuple
+from typing import Any, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -48,18 +48,17 @@ from repro.obs.metrics import get_registry
 __all__ = [
     "LruCache",
     "RESULT_CACHE",
-    "PRECOMPUTE_CACHE",
+    "COMPILE_CACHE",
     "fingerprint",
     "result_key",
-    "shared_sweep",
-    "shared_rotation_candidates",
+    "shared_compiled",
     "clear_caches",
 ]
 
 #: Default capacities.  Results hold full solutions (small: two arrays of
-#: size n/k); precompute entries hold sweeps (O(n log n) ints).
+#: size n/k); compile entries hold sorted views (O(n log n) ints each).
 RESULT_CACHE_MAXSIZE = 256
-PRECOMPUTE_CACHE_MAXSIZE = 128
+COMPILE_CACHE_MAXSIZE = 128
 
 
 class LruCache:
@@ -117,14 +116,14 @@ class LruCache:
 
 
 RESULT_CACHE = LruCache("engine.cache", RESULT_CACHE_MAXSIZE, copy_values=True)
-PRECOMPUTE_CACHE = LruCache("engine.precompute", PRECOMPUTE_CACHE_MAXSIZE)
+COMPILE_CACHE = LruCache("engine.compile", COMPILE_CACHE_MAXSIZE)
 
 
 def clear_caches() -> None:
     """Empty both caches (counters keep accumulating; reset them via the
     metrics registry)."""
     RESULT_CACHE.clear()
-    PRECOMPUTE_CACHE.clear()
+    COMPILE_CACHE.clear()
 
 
 # ----------------------------------------------------------------------
@@ -182,60 +181,26 @@ def result_key(
 
 
 # ----------------------------------------------------------------------
-# Shared precomputation
+# Shared compiled instances
 # ----------------------------------------------------------------------
-def _digest_floats(arr: np.ndarray) -> str:
-    return hashlib.sha256(
-        np.ascontiguousarray(np.asarray(arr, dtype=np.float64)).tobytes()
-    ).hexdigest()
+def shared_compiled(instance):
+    """Get-or-build the :class:`~repro.core.compiled.CompiledInstance`
+    for ``instance``, memoized process-wide under its content fingerprint.
 
-
-def shared_sweep(thetas: np.ndarray, rho: float):
-    """Get-or-build the :class:`CircularSweep` for ``(thetas, rho)``.
-
-    Sweeps are immutable after ``__init__`` (sorted order, window bounds
-    and canonical-window ids are precomputed), so one object is safely
-    shared across solvers and threads.
+    Unlike ``instance.compile()`` (a per-*object* memo), this shares one
+    compiled view across every equal-content instance the process sees —
+    batch duplicates, JSON round-trips, service aliases.  The view is
+    built fresh on a miss (never lifted from the object memo), so
+    :func:`clear_caches` makes subsequent compiles genuinely cold — the
+    property the benchmark's cold/shared comparison relies on.
     """
     # Imported lazily: repro.packing modules import this module at import
-    # time, and geometry.sweep sits below them in the layering.
-    from repro.geometry.sweep import CircularSweep
+    # time, and repro.core sits below them in the layering.
+    from repro.core.compiled import compile_instance
 
-    key = ("sweep", _digest_floats(thetas), float(rho))
-    sweep = PRECOMPUTE_CACHE.get(key)
-    if sweep is None:
-        sweep = CircularSweep(thetas, rho)
-        PRECOMPUTE_CACHE.put(key, sweep)
-    return sweep
-
-
-def shared_rotation_candidates(
-    thetas: np.ndarray,
-    widths: Sequence[float],
-    stacking: Optional[int] = None,
-) -> np.ndarray:
-    """Get-or-build the enriched candidate grid for ``(thetas, widths)``.
-
-    Returns a **read-only** array shared between callers; copy before
-    mutating (``np.sort`` and friends already do).
-    """
-    # Lazy for the same layering reason as shared_sweep: repro.packing's
-    # package __init__ is mid-import when multi/exact import this module.
-    from repro.packing.canonical import rotation_candidates
-
-    widths_arr = np.asarray(sorted(float(w) for w in widths), dtype=np.float64)
-    key = (
-        "candidates",
-        _digest_floats(thetas),
-        widths_arr.tobytes(),
-        stacking,
-    )
-    cand = PRECOMPUTE_CACHE.get(key)
-    if cand is None:
-        cand = np.asarray(
-            rotation_candidates(thetas, widths, stacking=stacking),
-            dtype=np.float64,
-        )
-        cand.setflags(write=False)
-        PRECOMPUTE_CACHE.put(key, cand)
-    return cand
+    key = ("compiled", fingerprint(instance))
+    compiled = COMPILE_CACHE.get(key)
+    if compiled is None:
+        compiled = compile_instance(instance)
+        COMPILE_CACHE.put(key, compiled)
+    return compiled

@@ -120,6 +120,27 @@ def _build_oracle(spec: SolverSpec, eps: float):
     return get_solver("exact")
 
 
+def _build_compiled(instance: Any, family: str) -> Any:
+    """Resolve the shared compiled view the solver context carries.
+
+    Knapsack payloads compile their item arrays directly; every other
+    family goes through the fingerprint-keyed compile cache, so repeated
+    solves of equal-content instances (batches, service aliases) compile
+    once per process.
+    """
+    if family == "knapsack":
+        import numpy as np
+
+        from repro.core.compiled import compile_items
+
+        weights, profits, _ = instance
+        return compile_items(
+            np.asarray(weights, dtype=np.float64),
+            np.asarray(profits, dtype=np.float64),
+        )
+    return _cache.shared_compiled(instance)
+
+
 def _normalize(result: Any, instance: Any, extra: Dict[str, Any]) -> tuple:
     """Return ``(solution, value)`` and fill family-specific extras."""
     from repro.knapsack.api import KnapsackResult
@@ -292,7 +313,8 @@ def solve(request: SolveRequest) -> SolveReport:
             )
 
     ctx = SolveContext(eps=request.eps, seed=request.seed,
-                       oracle=_build_oracle(spec, request.eps))
+                       oracle=_build_oracle(spec, request.eps),
+                       compiled=_build_compiled(request.instance, family))
     budget_ctx = (
         Budget(wall_s=request.timeout_s).activate()
         if request.timeout_s is not None

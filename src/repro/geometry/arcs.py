@@ -72,6 +72,15 @@ class Arc:
         """Vectorized closed containment; returns a boolean mask."""
         return angles_in_window(np.asarray(thetas, dtype=np.float64), self.start, self.width)
 
+    def coverage_bounds(
+        self, sorted_thetas: np.ndarray, closed_end: bool = True
+    ) -> tuple[float, int, int]:
+        """Covered run of a pre-sorted angle array (see module-level
+        :func:`coverage_bounds`)."""
+        return coverage_bounds(
+            sorted_thetas, self.start, self.width, closed_end=closed_end
+        )
+
     def contains_arc(self, other: "Arc") -> bool:
         """True iff every point of ``other`` lies in ``self``."""
         if self.is_full_circle:
@@ -158,6 +167,46 @@ class Arc:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Arc(start={self.start:.6f}, width={self.width:.6f})"
+
+
+def coverage_bounds(
+    sorted_thetas: np.ndarray,
+    start: float,
+    width: float,
+    closed_end: bool = True,
+) -> tuple[float, int, int]:
+    """Index bounds of the angles covered by the arc ``[start, start+width]``.
+
+    Array-consuming entry point for callers that already hold a *sorted*
+    normalized angle array (the compiled-instance layer, the circular
+    sweep): the covered angles form the contiguous run ``[lo, hi)`` into
+    ``sorted_thetas``, with ``hi`` possibly exceeding ``n`` to express
+    wrap-around (positions are taken mod ``n``).  Returns ``(normalized
+    start, lo, hi)``.
+
+    Closed-end containment uses the same ``1e-12`` tolerance as
+    :meth:`Arc.contains`; ``closed_end=False`` makes the right end open
+    (used by the disjoint-arcs DP so two stacked windows sharing a boundary
+    never both claim a customer sitting exactly on it).  ``O(log n)`` — no
+    re-sorting, no Python-level loop.
+    """
+    s = normalize_angle(start)
+    n = int(sorted_thetas.shape[0])
+    if n == 0:
+        return s, 0, 0
+    lo = int(np.searchsorted(sorted_thetas, s - _EPS_WRAP, side="left"))
+    if width >= TWO_PI:
+        return s, lo, lo + n
+    end_tol = _EPS_WRAP if closed_end else -_EPS_WRAP
+    hi = int(
+        np.searchsorted(
+            np.concatenate([sorted_thetas, sorted_thetas + TWO_PI]),
+            s + width + end_tol,
+            side="right",
+        )
+    )
+    hi = max(lo, min(hi, lo + n))
+    return s, lo, hi
 
 
 def arcs_pairwise_disjoint(arcs: Sequence[Arc]) -> bool:

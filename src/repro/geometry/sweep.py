@@ -36,6 +36,13 @@ _SWEEP_BUILDS = get_registry().counter("sweep.builds")
 _SWEEP_WINDOWS = get_registry().counter("sweep.windows")
 
 
+def _check_width(width: float) -> float:
+    """Validate a window width and clamp it to ``[0, 2*pi]``."""
+    if not (0.0 <= width <= TWO_PI + _WINDOW_EPS):
+        raise ValueError(f"window width must be in [0, 2*pi], got {width}")
+    return float(min(width, TWO_PI))
+
+
 @dataclass(frozen=True)
 class WindowView:
     """One canonical window of a :class:`CircularSweep`.
@@ -101,9 +108,7 @@ class CircularSweep:
 
     def __init__(self, thetas: Sequence[float] | np.ndarray, width: float):
         _budget_checkpoint()  # sweep builds are a phase boundary (ambient budget)
-        if not (0.0 <= width <= TWO_PI + _WINDOW_EPS):
-            raise ValueError(f"window width must be in [0, 2*pi], got {width}")
-        self.width = float(min(width, TWO_PI))
+        self.width = _check_width(width)
         thetas = np.asarray(thetas, dtype=np.float64)
         self.thetas = normalize_angles(thetas)
         self.n = int(self.thetas.shape[0])
@@ -113,6 +118,40 @@ class CircularSweep:
         #: rank_of_original[i] = position of original customer i in sorted order
         self.rank_of_original = np.empty(self.n, dtype=np.intp)
         self.rank_of_original[self.order] = np.arange(self.n)
+        self._attach_windows()
+
+    @classmethod
+    def from_sorted(
+        cls,
+        thetas: np.ndarray,
+        width: float,
+        order: np.ndarray,
+        sorted_thetas: np.ndarray,
+        rank_of_original: np.ndarray,
+    ) -> "CircularSweep":
+        """Build a sweep from a *precomputed* stable sort — no re-sorting.
+
+        The compiled-instance layer (:mod:`repro.core.compiled`) sorts each
+        angle array once and then instantiates one sweep per window width
+        through this entry point.  The caller guarantees that ``thetas`` is
+        already normalized to ``[0, 2*pi)`` and that ``order`` /
+        ``sorted_thetas`` / ``rank_of_original`` came from
+        ``np.argsort(thetas, kind="stable")`` — under that contract the
+        result is indistinguishable from ``CircularSweep(thetas, width)``.
+        """
+        self = cls.__new__(cls)
+        _budget_checkpoint()
+        self.width = _check_width(width)
+        self.thetas = thetas
+        self.n = int(thetas.shape[0])
+        self.order = order
+        self.sorted_thetas = sorted_thetas
+        self.rank_of_original = rank_of_original
+        self._attach_windows()
+        return self
+
+    def _attach_windows(self) -> None:
+        """Compute the ``(lo, hi)`` bounds of all ``n`` canonical windows."""
         _SWEEP_BUILDS.inc()
         _SWEEP_WINDOWS.inc(self.n)
         if self.n == 0:
@@ -163,27 +202,16 @@ class CircularSweep:
         the window half-open ``[start, start + width)`` — used by the
         disjoint-arcs DP so that two stacked windows sharing a boundary
         never both claim a customer sitting exactly on it.  ``O(log n)``.
-        """
-        from repro.geometry.angles import normalize_angle
 
-        s = normalize_angle(start)
-        if self.n == 0:
-            return WindowView(start=s, lo=0, hi=0, sweep=self)
-        lo = int(
-            np.searchsorted(self.sorted_thetas, s - _WINDOW_EPS, side="left")
+        The bounds arithmetic lives in
+        :func:`repro.geometry.arcs.coverage_bounds`, the array-level entry
+        point shared with the compiled-instance layer.
+        """
+        from repro.geometry.arcs import coverage_bounds
+
+        s, lo, hi = coverage_bounds(
+            self.sorted_thetas, start, self.width, closed_end=closed_end
         )
-        if self.width >= TWO_PI:
-            return WindowView(start=s, lo=lo, hi=lo + self.n, sweep=self)
-        end_tol = _WINDOW_EPS if closed_end else -_WINDOW_EPS
-        doubled_target = s + self.width + end_tol
-        hi = int(
-            np.searchsorted(
-                np.concatenate([self.sorted_thetas, self.sorted_thetas + TWO_PI]),
-                doubled_target,
-                side="right",
-            )
-        )
-        hi = max(lo, min(hi, lo + self.n))
         return WindowView(start=s, lo=lo, hi=hi, sweep=self)
 
     def unique_window_ids(self) -> np.ndarray:
@@ -191,13 +219,23 @@ class CircularSweep:
 
         Duplicate customer angles yield byte-identical windows; solvers that
         do expensive per-window work (knapsack) skip the duplicates.
+
+        The result is memoized: a sweep's windows never change, and shared
+        (compiled-instance) sweeps call this once per rotation search.
         """
+        cached = getattr(self, "_uniq_ids", None)
+        if cached is not None:
+            return cached
         if self.n == 0:
-            return np.empty(0, dtype=np.intp)
-        keep = np.ones(self.n, dtype=bool)
-        same_start = np.isclose(np.diff(self.sorted_thetas), 0.0, atol=1e-15)
-        keep[1:] = ~same_start
-        return np.flatnonzero(keep)
+            uniq = np.empty(0, dtype=np.intp)
+        else:
+            keep = np.ones(self.n, dtype=bool)
+            same_start = np.isclose(np.diff(self.sorted_thetas), 0.0, atol=1e-15)
+            keep[1:] = ~same_start
+            uniq = np.flatnonzero(keep)
+        uniq.setflags(write=False)
+        self._uniq_ids = uniq
+        return uniq
 
     def counts(self) -> np.ndarray:
         """Number of covered customers for every window (vectorized)."""
@@ -218,6 +256,25 @@ class CircularSweep:
             return np.empty(0, dtype=np.float64)
         v_sorted = values[self.order]
         prefix = np.concatenate([[0.0], np.cumsum(np.concatenate([v_sorted, v_sorted]))])
+        return prefix[self._hi] - prefix[self._lo]
+
+    def window_sums_from_prefix(self, prefix: np.ndarray) -> np.ndarray:
+        """:meth:`window_sums` from a *precomputed* doubled prefix sum.
+
+        ``prefix`` must be the ``(2n+1,)`` array
+        ``concatenate([[0.0], cumsum(concatenate([v_sorted, v_sorted]))])``
+        for values aligned with this sweep's sorted order — exactly what the
+        compiled-instance layer stores (``demand_prefix`` /
+        ``profit_prefix``).  The same cumulative array is built once and
+        reused by every window width, since the sorted order does not depend
+        on ``rho``; the result is bit-identical to :meth:`window_sums` on
+        the original values.
+        """
+        prefix = np.asarray(prefix, dtype=np.float64)
+        if prefix.shape != (2 * self.n + 1,):
+            raise ValueError(
+                f"prefix must have shape ({2 * self.n + 1},), got {prefix.shape}"
+            )
         return prefix[self._hi] - prefix[self._lo]
 
     def best_window_by_sum(self, values: np.ndarray) -> tuple[int, float]:

@@ -136,7 +136,16 @@ class KnapsackSolver:
     def guarantee(self) -> float:
         raise NotImplementedError
 
-    def solve(self, weights, profits, capacity: float) -> KnapsackResult:
+    def solve(
+        self, weights, profits, capacity: float, *, compiled=None
+    ) -> KnapsackResult:
+        """Solve one 0/1 knapsack.
+
+        ``compiled`` (optional) is a :class:`repro.core.compiled.
+        CompiledItems` view of exactly these ``weights``/``profits``;
+        solvers that can reuse its precomputed orderings do so, the rest
+        ignore it.  Passing a view of *different* arrays is undefined.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -152,7 +161,9 @@ class ExactKnapsack(KnapsackSolver):
     def guarantee(self) -> float:
         return 1.0
 
-    def solve(self, weights, profits, capacity: float) -> KnapsackResult:
+    def solve(
+        self, weights, profits, capacity: float, *, compiled=None
+    ) -> KnapsackResult:
         from repro.knapsack.exact import solve_exact_auto
 
         t0 = time.perf_counter()
@@ -174,7 +185,9 @@ class FptasKnapsack(KnapsackSolver):
     def guarantee(self) -> float:
         return 1.0 - self.eps
 
-    def solve(self, weights, profits, capacity: float) -> KnapsackResult:
+    def solve(
+        self, weights, profits, capacity: float, *, compiled=None
+    ) -> KnapsackResult:
         from repro.knapsack.fptas import solve_fptas
 
         t0 = time.perf_counter()
@@ -192,11 +205,13 @@ class GreedyKnapsack(KnapsackSolver):
     def guarantee(self) -> float:
         return 0.5
 
-    def solve(self, weights, profits, capacity: float) -> KnapsackResult:
+    def solve(
+        self, weights, profits, capacity: float, *, compiled=None
+    ) -> KnapsackResult:
         from repro.knapsack.greedy import solve_greedy
 
         t0 = time.perf_counter()
-        res = solve_greedy(weights, profits, capacity)
+        res = solve_greedy(weights, profits, capacity, compiled=compiled)
         _record_oracle("greedy", int(np.size(weights)), time.perf_counter() - t0)
         return res
 

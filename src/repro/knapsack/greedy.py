@@ -20,8 +20,17 @@ import numpy as np
 from repro.knapsack.api import KnapsackResult, _as_arrays, _fits
 
 
-def solve_greedy(weights, profits, capacity: float) -> KnapsackResult:
-    """Density greedy + best single item; ``value >= OPT / 2``; ``O(n log n)``."""
+def solve_greedy(
+    weights, profits, capacity: float, *, compiled=None
+) -> KnapsackResult:
+    """Density greedy + best single item; ``value >= OPT / 2``; ``O(n log n)``.
+
+    ``compiled`` (optional) is a :class:`repro.core.compiled.CompiledItems`
+    view of these exact arrays; its precomputed stable density order is
+    then restricted to the fitting items instead of re-sorted.  The
+    restriction of a stable global sort to a subset equals the stable sort
+    of that subset, so the result is identical.
+    """
     w, p = _as_arrays(weights, profits)
     n = w.size
     cap = max(0.0, float(capacity))
@@ -34,8 +43,14 @@ def solve_greedy(weights, profits, capacity: float) -> KnapsackResult:
         return KnapsackResult.empty()
     idx = np.flatnonzero(useful)
 
-    dens = np.where(w[idx] > 1e-12, p[idx] / np.maximum(w[idx], 1e-300), np.inf)
-    order = idx[np.argsort(-dens, kind="stable")]
+    if compiled is not None and compiled.n == n:
+        dord = compiled.density_order
+        order = dord[useful[dord]]
+    else:
+        dens = np.where(
+            w[idx] > 1e-12, p[idx] / np.maximum(w[idx], 1e-300), np.inf
+        )
+        order = idx[np.argsort(-dens, kind="stable")]
 
     chosen = []
     remaining = cap

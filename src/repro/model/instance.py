@@ -9,8 +9,8 @@ solvers can vectorize membership and prefix-sum computations.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.geometry.angles import normalize_angles
 from repro.geometry.points import relative_polar
 from repro.model.antenna import AntennaSpec
 from repro.model.customer import Customer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports model users)
+    from repro.core.compiled import CompiledAngleInstance, CompiledSectorInstance
 
 
 class InvalidInstanceError(ValueError):
@@ -217,6 +220,29 @@ class AngleInstance:
             antennas=tuple(antennas),
         )
 
+    def compile(self) -> "CompiledAngleInstance":
+        """The memoized compiled view of this instance.
+
+        Builds the :class:`~repro.core.compiled.CompiledAngleInstance`
+        struct-of-arrays view (stable angular sort, demand/profit prefix
+        sums, per-width sweeps, candidate grids) on first call and caches
+        it on the object.  The engine's fingerprint-keyed cache
+        (:func:`repro.engine.cache.shared_compiled`) extends this memo
+        across equal-content instances.
+        """
+        view = self.__dict__.get("_compiled")
+        if view is None:
+            from repro.core.compiled import compile_instance
+
+            view = compile_instance(self)
+            object.__setattr__(self, "_compiled", view)
+        return view
+
+    def __getstate__(self) -> dict:
+        # The compiled view is derived data: drop it from pickles (worker
+        # processes rebuild on demand) instead of shipping sweeps around.
+        return {k: v for k, v in self.__dict__.items() if k != "_compiled"}
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AngleInstance):
             return NotImplemented
@@ -403,6 +429,26 @@ class SectorInstance:
             antennas=st.antennas,
         )
         return sub, idx
+
+    def compile(self) -> "CompiledSectorInstance":
+        """The memoized compiled view of this instance.
+
+        Station polar conversions, fitting-radius masks and the shared
+        eligibility triple live on the returned
+        :class:`~repro.core.compiled.CompiledSectorInstance`; see
+        :meth:`AngleInstance.compile` for the memoization contract.
+        """
+        view = self.__dict__.get("_compiled")
+        if view is None:
+            from repro.core.compiled import compile_instance
+
+            view = compile_instance(self)
+            object.__setattr__(self, "_compiled", view)
+        return view
+
+    def __getstate__(self) -> dict:
+        # Derived data: never pickle the compiled view (see AngleInstance).
+        return {k: v for k, v in self.__dict__.items() if k != "_compiled"}
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SectorInstance):

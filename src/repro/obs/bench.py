@@ -128,6 +128,7 @@ def run_bench(
     timeout_s: Optional[float] = None,
     cache_bench: bool = False,
     service_bench: bool = False,
+    compile_bench: bool = False,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -155,6 +156,12 @@ def run_bench(
     (``docs/SERVICE.md``): serving throughput through an in-process
     :mod:`repro.service` instance — sequential single requests vs a
     pipelined burst (micro-batched routing) vs a warm-cache pass.
+
+    ``compile_bench=True`` adds the additive ``compile_bench`` section: a
+    repeated multi-solver workload on one large instance, cold (compile
+    cache cleared before every solve) vs shared (one
+    ``CompiledInstance`` reused across all solves), with the value
+    equality between the two passes asserted.
     """
     from repro.engine import SolveRequest, clear_caches
     from repro.engine import solve as engine_solve
@@ -283,6 +290,8 @@ def run_bench(
         payload["cache_bench"] = _run_cache_bench(last_angle_instance, eps=eps)
     if service_bench:
         payload["service_bench"] = _run_service_bench(eps=eps)
+    if compile_bench:
+        payload["compile_bench"] = _run_compile_bench(eps=eps)
     return payload
 
 
@@ -324,6 +333,108 @@ def _run_cache_bench(instance, eps: float, solver: str = "greedy+ls") -> dict:
         "value": float(cold_report.value),
         "cache_hits": int(snap.get("engine.cache.hits", {}).get("value", 0)),
         "cache_misses": int(snap.get("engine.cache.misses", {}).get("value", 0)),
+        "compile_hits": int(
+            snap.get("engine.compile.hits", {}).get("value", 0)
+        ),
+        "compile_misses": int(
+            snap.get("engine.compile.misses", {}).get("value", 0)
+        ),
+    }
+
+
+def _run_compile_bench(
+    eps: float,
+    n: int = 8000,
+    k: int = 4,
+    n_distinct: int = 64,
+    repeats: int = 4,
+    algorithms: Sequence[str] = ("greedy", "adaptive"),
+) -> dict:
+    """Repeated multi-solver workload: per-call compilation vs one shared
+    :class:`~repro.core.compiled.CompiledInstance`.
+
+    One large, duplicate-heavy instance (``n`` customers clustered on
+    ``n_distinct`` distinct angles), full-circle antennas and loose
+    capacities.  That shape concentrates the per-solve cost in exactly
+    the work a compile amortizes — angle normalization, the stable
+    argsort, demand/profit prefix sums, sweep construction and
+    duplicate-window dedup — while the solver's own residual (vectorized
+    window sums plus the everything-fits fast path) stays O(n).  The same
+    ``len(algorithms) * repeats`` engine solves run twice:
+
+    * **cold** — caches cleared before every solve, so each one re-sorts,
+      re-prefixes and rebuilds its sweeps from scratch;
+    * **shared** — caches cleared once, so every solve after the first
+      reuses the fingerprint-cached compiled view.
+
+    The per-solve values must match exactly between passes (the compiled
+    path is a pure refactoring of the precompute); ``speedup`` is the
+    headline cold/shared throughput ratio.
+    """
+    import dataclasses
+    import math
+
+    from repro.engine import SolveRequest, clear_caches
+    from repro.engine import solve as engine_solve
+    from repro.model.generators import uniform_angles
+
+    base = uniform_angles(n=n, k=k, seed=0, capacity_fraction=4.0)
+    rng = np.random.default_rng(0)
+    distinct = rng.uniform(0.0, 2.0 * math.pi, size=n_distinct)
+    spec0 = base.antennas[0]
+    instance = AngleInstance(
+        thetas=distinct[rng.integers(0, n_distinct, size=n)],
+        demands=base.demands,
+        profits=base.profits,
+        antennas=tuple(
+            dataclasses.replace(spec0, rho=2.0 * math.pi) for _ in range(k)
+        ),
+    )
+    requests = [
+        SolveRequest(instance=instance, algorithm=alg, eps=eps, use_cache=False)
+        for alg in algorithms
+    ] * repeats
+    registry = get_registry()
+
+    cold_values = []
+    t0 = time.perf_counter()
+    for request in requests:
+        clear_caches()
+        cold_values.append(engine_solve(request).value)
+    cold_s = time.perf_counter() - t0
+
+    clear_caches()
+    registry.reset()
+    shared_values = []
+    t0 = time.perf_counter()
+    for request in requests:
+        shared_values.append(engine_solve(request).value)
+    shared_s = time.perf_counter() - t0
+    snap = registry.snapshot()
+
+    if cold_values != shared_values:
+        raise RuntimeError(
+            "compile bench invariant broken: shared-compile solves are not "
+            "value-identical to per-call compilation"
+        )
+    solves = len(requests)
+    return {
+        "n": int(instance.n),
+        "k": int(instance.k),
+        "n_distinct": int(n_distinct),
+        "repeats": int(repeats),
+        "solves": int(solves),
+        "cold_wall_time_s": float(cold_s),
+        "shared_wall_time_s": float(shared_s),
+        "speedup": float(cold_s / shared_s) if shared_s > 0 else float("inf"),
+        "cold_solves_per_s": float(solves / cold_s) if cold_s > 0 else 0.0,
+        "shared_solves_per_s": float(solves / shared_s) if shared_s > 0 else 0.0,
+        "compile_hits": int(
+            snap.get("engine.compile.hits", {}).get("value", 0)
+        ),
+        "compile_misses": int(
+            snap.get("engine.compile.misses", {}).get("value", 0)
+        ),
     }
 
 
@@ -443,6 +554,25 @@ _CACHE_BENCH_FIELDS: Dict[str, type] = {
     "value": float,
     "cache_hits": int,
     "cache_misses": int,
+    "compile_hits": int,
+    "compile_misses": int,
+}
+
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``compile_bench=True``; validated only when present.
+_COMPILE_BENCH_FIELDS: Dict[str, type] = {
+    "n": int,
+    "k": int,
+    "n_distinct": int,
+    "repeats": int,
+    "solves": int,
+    "cold_wall_time_s": float,
+    "shared_wall_time_s": float,
+    "speedup": float,
+    "cold_solves_per_s": float,
+    "shared_solves_per_s": float,
+    "compile_hits": int,
+    "compile_misses": int,
 }
 
 #: Optional additive section (schema stays v1): present only when the
@@ -557,6 +687,17 @@ def validate_bench(payload: dict) -> dict:
         _check(cb["warm_wall_time_s"] >= 0.0, "cache_bench.warm_wall_time_s negative")
         _check(cb["cache_hits"] >= 0 and cb["cache_misses"] >= 0,
                "cache_bench counters negative")
+    if "compile_bench" in payload:
+        cp = payload["compile_bench"]
+        _check(isinstance(cp, dict), "compile_bench must be an object")
+        _check_fields(cp, _COMPILE_BENCH_FIELDS, "compile_bench")
+        _check(cp["cold_wall_time_s"] >= 0.0,
+               "compile_bench.cold_wall_time_s negative")
+        _check(cp["shared_wall_time_s"] >= 0.0,
+               "compile_bench.shared_wall_time_s negative")
+        _check(cp["solves"] > 0, "compile_bench.solves must be positive")
+        _check(cp["compile_hits"] >= 0 and cp["compile_misses"] >= 0,
+               "compile_bench counters negative")
     if "service_bench" in payload:
         sb = payload["service_bench"]
         _check(isinstance(sb, dict), "service_bench must be an object")

@@ -29,18 +29,20 @@ result is reported together with an instance-specific optimality gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.geometry.angles import TWO_PI
-from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.antenna import AntennaSpec
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
 from repro.numerics import ceil_units, fits, overloads
 from repro.packing.single import best_rotation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 
 class InfeasibleCoverError(ValueError):
@@ -146,6 +148,7 @@ def greedy_cover(
     spec: AntennaSpec,
     oracle: KnapsackSolver,
     max_antennas: Optional[int] = None,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> CoverResult:
     """Serve every customer using greedy max-remaining-demand placements.
 
@@ -153,6 +156,10 @@ def greedy_cover(
     capacity, and ``RuntimeError`` if ``max_antennas`` (default
     ``4 * n``) placements do not finish — which cannot happen for a
     feasible instance, since every round serves at least one customer.
+
+    ``compiled`` (optional) must be the compiled view of an instance whose
+    (normalized) angles equal ``thetas``; each round then derives its
+    subset sweep from the shared sort instead of re-sorting.
     """
     thetas = np.asarray(thetas, dtype=np.float64)
     demands = np.asarray(demands, dtype=np.float64)
@@ -182,7 +189,14 @@ def greedy_cover(
             )
         idx = np.flatnonzero(remaining)
         out = best_rotation(
-            thetas[idx], demands[idx], demands[idx], spec, oracle
+            thetas[idx],
+            demands[idx],
+            demands[idx],
+            spec,
+            oracle,
+            sweep=(
+                None if compiled is None else compiled.subset_sweep(idx, spec.rho)
+            ),
         )
         if out.selected.size == 0:
             # Cannot happen when every demand fits capacity: the window at
@@ -202,15 +216,25 @@ def greedy_cover(
 
 
 def cover_instance(
-    instance: AngleInstance, oracle: KnapsackSolver, **kwargs
+    instance: AngleInstance,
+    oracle: KnapsackSolver,
+    compiled: Optional["CompiledAngleInstance"] = None,
+    **kwargs,
 ) -> CoverResult:
     """Cover all customers of an instance with copies of its first antenna.
 
     Convenience wrapper: uses ``instance.antennas[0]`` as the repeatable
-    spec (the covering question is posed for one antenna type).
+    spec (the covering question is posed for one antenna type) and the
+    instance's compiled view for the per-round subset sweeps.
     """
+    compiled = instance.compile() if compiled is None else compiled
     return greedy_cover(
-        instance.thetas, instance.demands, instance.antennas[0], oracle, **kwargs
+        instance.thetas,
+        instance.demands,
+        instance.antennas[0],
+        oracle,
+        compiled=compiled,
+        **kwargs,
     )
 
 

@@ -26,11 +26,10 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.cache import shared_rotation_candidates, shared_sweep
 from repro.geometry.arcs import Arc, arcs_pairwise_disjoint
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
@@ -39,6 +38,9 @@ from repro.obs.metrics import get_registry
 from repro.packing.flow import covered_matrix
 from repro.resilience.anytime import AnytimeOutcome
 from repro.resilience.budget import Budget, BudgetExpired, current_budget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 # Anytime-solve telemetry (contract: docs/RESILIENCE.md).
 _REG = get_registry()
@@ -185,21 +187,15 @@ def solve_exact_fixed_orientations(
 
 
 def _orientation_candidates(
-    instance: AngleInstance, require_disjoint: bool
+    instance: AngleInstance,
+    require_disjoint: bool,
+    compiled: "CompiledAngleInstance",
 ) -> List[List[float]]:
     """Candidate orientations per antenna, deduplicated by coverage."""
-    if require_disjoint:
-        grid = shared_rotation_candidates(
-            instance.thetas, [a.rho for a in instance.antennas]
-        )
-    else:
-        grid = None
+    grid = compiled.candidates() if require_disjoint else None
     out: List[List[float]] = []
-    sweeps: dict = {}
     for spec in instance.antennas:
-        if spec.rho not in sweeps:
-            sweeps[spec.rho] = shared_sweep(instance.thetas, spec.rho)
-        sweep = sweeps[spec.rho]
+        sweep = compiled.sweep(spec.rho)
         starts: List[float] = []
         seen: set = set()
         if grid is None:
@@ -229,6 +225,7 @@ def _enumerate_exact(
     budget: Optional[Budget],
     seed: Optional[AngleSolution],
     seed_value: float,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> Tuple[Optional[AngleSolution], float, int]:
     """Shared enumeration core of the exact and anytime front ends.
 
@@ -242,7 +239,8 @@ def _enumerate_exact(
     together with a budget).
     """
     n, k = instance.n, instance.k
-    cand = _orientation_candidates(instance, require_disjoint)
+    compiled = instance.compile() if compiled is None else compiled
+    cand = _orientation_candidates(instance, require_disjoint, compiled)
     # In the disjoint variant an antenna may be switched OFF (idle beams do
     # not radiate), represented by candidate ``None``.
     if require_disjoint:
@@ -269,11 +267,8 @@ def _enumerate_exact(
     best: Optional[AngleSolution] = seed
     best_value = seed_value
     solved = 0
-    # Cheap per-tuple bound pieces.
-    sweeps: dict = {}
-    for spec in instance.antennas:
-        if spec.rho not in sweeps:
-            sweeps[spec.rho] = shared_sweep(instance.thetas, spec.rho)
+    # Cheap per-tuple bound pieces (memoized per width on the compiled view).
+    sweeps = {spec.rho: compiled.sweep(spec.rho) for spec in instance.antennas}
 
     for tup in tuples:
         off = [j for j, t in enumerate(tup) if t is None]
@@ -338,6 +333,7 @@ def solve_exact_angle(
     max_tuples: int = 500_000,
     max_nodes_per_tuple: int = 500_000,
     budget: Optional[Budget] = None,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Globally optimal solution by orientation enumeration + exact assignment.
 
@@ -360,6 +356,7 @@ def solve_exact_angle(
         budget,
         seed=None,
         seed_value=-1.0,
+        compiled=compiled,
     )
     assert best is not None
     return best
@@ -371,6 +368,7 @@ def solve_exact_anytime(
     require_disjoint: bool = False,
     max_nodes_per_tuple: int = 500_000,
     max_tuples: Optional[int] = 500_000,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AnytimeOutcome:
     """Budget-bounded exact solve with certified bounds (never hangs).
 
@@ -407,7 +405,7 @@ def solve_exact_anytime(
     if require_disjoint:
         seed: AngleSolution = AngleSolution.empty(instance)
     else:
-        seed = solve_greedy_multi(instance, get_solver("greedy"))
+        seed = solve_greedy_multi(instance, get_solver("greedy"), compiled=compiled)
     seed_value = seed.value(instance)
 
     reason, optimal = "complete", True
@@ -421,6 +419,7 @@ def solve_exact_anytime(
             budget,
             seed=seed,
             seed_value=seed_value,
+            compiled=compiled,
         )
     except BudgetExpired as exc:
         best = exc.incumbent if exc.incumbent is not None else seed

@@ -30,38 +30,44 @@ the same order as shifting, without choosing ``t``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.geometry.arcs import Arc
 from repro.geometry.interval_set import CircularIntervalSet
-from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
 from repro.numerics import fits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 
 def solve_insertion(
     instance: AngleInstance,
     oracle: KnapsackSolver,
     boundary_fill: bool = True,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Non-overlapping packing by conflict-greedy window insertion.
 
     Identical antennas only (the score table is shared); the returned
     solution satisfies ``verify(instance, require_disjoint=True)``.
+    ``compiled`` is the shared precomputation view (defaults to
+    ``instance.compile()``).
     """
     if not instance.has_uniform_antennas:
         raise ValueError("insertion heuristic requires identical antennas")
     n, k = instance.n, instance.k
     if n == 0:
         return AngleSolution.empty(instance)
+    compiled = instance.compile() if compiled is None else compiled
     spec = instance.antennas[0]
 
-    sweep = CircularSweep(instance.thetas, spec.rho)
-    demand_sums = sweep.window_sums(instance.demands)
+    sweep = compiled.sweep(spec.rho)
+    demand_sums = sweep.window_sums_from_prefix(compiled.demand_prefix)
     ids = sweep.unique_window_ids()
     starts = np.empty(ids.size)
     values = np.empty(ids.size)

@@ -15,6 +15,8 @@ rounding (experiment E5 measures its contribution).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
 from repro.geometry.arcs import Arc
@@ -23,6 +25,9 @@ from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
 from repro.numerics import fits
 from repro.packing.single import best_rotation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 
 def _fill_pass(
@@ -104,13 +109,17 @@ def improve_solution(
     solution: AngleSolution,
     oracle: KnapsackSolver,
     max_rounds: int = 10,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Monotone local search: returns a solution with value >= the input's.
 
     ``oracle`` drives the re-rotation move's inner knapsack.  Terminates
     after ``max_rounds`` full passes or at the first pass with no
-    improvement.
+    improvement.  ``compiled`` is the shared precomputation view (defaults
+    to ``instance.compile()``); the re-rotation move derives its subset
+    sweeps from it instead of re-sorting per candidate antenna.
     """
+    compiled = instance.compile() if compiled is None else compiled
     orientations = solution.orientations.copy()
     assignment = solution.assignment.copy()
     best_value = float(instance.profits[assignment >= 0].sum())
@@ -127,12 +136,14 @@ def improve_solution(
             idx = np.flatnonzero(available)
             if idx.size == 0:
                 continue
+            spec = instance.antennas[j]
             out = best_rotation(
                 instance.thetas[idx],
                 instance.demands[idx],
                 instance.profits[idx],
-                instance.antennas[j],
+                spec,
                 oracle,
+                sweep=compiled.subset_sweep(idx, spec.rho),
             )
             current_j_value = float(instance.profits[assignment == j].sum())
             if out.value > current_j_value + 1e-12:

@@ -29,19 +29,21 @@ deterministic argmax-``y`` profile) is returned.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
-from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
 from repro.obs import span
 from repro.obs.metrics import get_registry
 from repro.packing.assignment import greedy_assignment_fixed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 # Solver-level telemetry (contract: docs/OBSERVABILITY.md).
 _REG = get_registry()
@@ -56,23 +58,24 @@ _LP_SAMPLES = _REG.counter("lp.rounding_samples")
 
 
 def _candidates(
-    instance: AngleInstance, max_candidates: Optional[int] = None
+    instance: AngleInstance,
+    max_candidates: Optional[int] = None,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> List[List[Tuple[float, np.ndarray]]]:
     """Per-antenna list of ``(alpha, covered original indices)``.
 
-    Shares sweeps between antennas of equal width.  ``max_candidates``
-    keeps only the windows with the largest covered profit (for rounding
-    use only — see module docstring).
+    Sweeps come from the compiled view (shared between antennas of equal
+    width and with every other solver).  ``max_candidates`` keeps only the
+    windows with the largest covered profit (for rounding use only — see
+    module docstring).
     """
-    sweeps: dict = {}
+    compiled = instance.compile() if compiled is None else compiled
     out: List[List[Tuple[float, np.ndarray]]] = []
     for spec in instance.antennas:
-        if spec.rho not in sweeps:
-            sweeps[spec.rho] = CircularSweep(instance.thetas, spec.rho)
-        sweep = sweeps[spec.rho]
+        sweep = compiled.sweep(spec.rho)
         ids = sweep.unique_window_ids()
         if max_candidates is not None and ids.size > max_candidates:
-            sums = sweep.window_sums(instance.profits)
+            sums = sweep.window_sums_from_prefix(compiled.profit_prefix)
             ids = ids[np.argsort(-sums[ids], kind="stable")[:max_candidates]]
         cands = []
         for k in ids:
@@ -88,6 +91,7 @@ def solve_lp_relaxation(
     instance: AngleInstance,
     max_candidates: Optional[int] = None,
     tighten: bool = False,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> Tuple[float, List[np.ndarray], List[List[Tuple[float, np.ndarray]]]]:
     """Solve the relaxation; returns ``(value, y_per_antenna, candidates)``.
 
@@ -97,7 +101,7 @@ def solve_lp_relaxation(
     """
     n, k = instance.n, instance.k
     with _LP_CANDS.time():
-        cands = _candidates(instance, max_candidates)
+        cands = _candidates(instance, max_candidates, compiled)
     if n == 0:
         return 0.0, [np.zeros(len(c)) for c in cands], cands
 
@@ -194,6 +198,7 @@ def solve_lp_rounding(
     seed: int = 0,
     max_candidates: Optional[int] = None,
     tighten: bool = False,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Randomized rounding of the LP: best of ``rounds`` sampled profiles.
 
@@ -205,7 +210,7 @@ def solve_lp_rounding(
     t0 = time.perf_counter()
     with span("solver.lp_rounding", n=int(instance.n), k=int(instance.k),
               rounds=int(rounds)) as spn:
-        _, y, cands = solve_lp_relaxation(instance, max_candidates, tighten)
+        _, y, cands = solve_lp_relaxation(instance, max_candidates, tighten, compiled)
         rng = np.random.default_rng(seed)
         k = instance.k
 

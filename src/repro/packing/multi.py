@@ -32,7 +32,7 @@ heterogeneous antennas it tracks a bitmask of used antennas
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,13 +40,15 @@ from repro.geometry.angles import TWO_PI, ccw_delta
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
-from repro.engine.cache import shared_rotation_candidates, shared_sweep
 from repro.numerics import fits
 from repro.obs import span
 from repro.obs.metrics import get_registry
 from repro.packing.single import best_rotation
 from repro.resilience.budget import checkpoint as _budget_checkpoint
 from repro.resilience.budget import tick_nodes as _budget_tick
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 # Solver-level telemetry (contract: docs/OBSERVABILITY.md).
 _REG = get_registry()
@@ -63,6 +65,7 @@ def solve_greedy_multi(
     oracle: KnapsackSolver,
     adaptive: bool = False,
     antenna_order: Optional[Sequence[int]] = None,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Greedy multi-antenna packing; ``beta/(1+beta)``-approximation.
 
@@ -78,9 +81,14 @@ def solve_greedy_multi(
         processed in ``antenna_order`` (default: decreasing capacity).
     antenna_order:
         Explicit processing order for the non-adaptive mode.
+    compiled:
+        Shared precomputation view (defaults to ``instance.compile()``):
+        the first round reuses its memoized full-instance sweeps and prefix
+        sums, later rounds derive subset sweeps without re-sorting.
     """
     n, k = instance.n, instance.k
     t0 = time.perf_counter()
+    compiled = instance.compile() if compiled is None else compiled
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(k, dtype=np.float64)
     remaining = np.ones(n, dtype=bool)
@@ -93,14 +101,28 @@ def solve_greedy_multi(
             raise ValueError("antenna_order must be a permutation of range(k)")
 
     def run_rotation(j: int):
+        spec = instance.antennas[j]
         idx = np.flatnonzero(remaining)
-        out = best_rotation(
-            instance.thetas[idx],
-            instance.demands[idx],
-            instance.profits[idx],
-            instance.antennas[j],
-            oracle,
-        )
+        if idx.size == n:
+            out = best_rotation(
+                instance.thetas,
+                instance.demands,
+                instance.profits,
+                spec,
+                oracle,
+                sweep=compiled.sweep(spec.rho),
+                demand_prefix=compiled.demand_prefix,
+                profit_prefix=compiled.profit_prefix,
+            )
+        else:
+            out = best_rotation(
+                instance.thetas[idx],
+                instance.demands[idx],
+                instance.profits[idx],
+                spec,
+                oracle,
+                sweep=compiled.subset_sweep(idx, spec.rho),
+            )
         return out, idx
 
     rounds = 0
@@ -146,12 +168,13 @@ def _window_profit_tables(
     instance: AngleInstance,
     candidates: np.ndarray,
     oracle: KnapsackSolver,
+    compiled: "CompiledAngleInstance",
 ) -> Tuple[dict, dict]:
     """Oracle value for every (distinct antenna spec, candidate start).
 
     Returns ``(profits, picks)`` keyed by ``(rho, capacity)``: arrays of
     window values and per-window oracle selections (original indices).
-    Identical specs share one table.
+    Identical specs share one table; sweeps come from the compiled view.
     """
     profits: dict = {}
     picks: dict = {}
@@ -159,7 +182,7 @@ def _window_profit_tables(
         key = (spec.rho, spec.capacity)
         if key in profits:
             continue
-        sweep = shared_sweep(instance.thetas, spec.rho)
+        sweep = compiled.sweep(spec.rho)
         vals = np.zeros(candidates.size, dtype=np.float64)
         sels: List[np.ndarray] = []
         for c_id, s in enumerate(candidates):
@@ -193,6 +216,7 @@ def solve_non_overlapping_dp(
     candidates: Optional[np.ndarray] = None,
     max_mask_antennas: int = 12,
     boundary_fill: bool = True,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Optimal non-overlapping rotation (up to the oracle's factor).
 
@@ -201,6 +225,8 @@ def solve_non_overlapping_dp(
     at least ``oracle.guarantee`` times the optimal *non-overlapping*
     value.  Note this variant's optimum can be strictly below the general
     optimum (overlapping arcs help on hotspots); see experiment E5.
+    ``compiled`` supplies the memoized candidate grid and per-width sweeps
+    (defaults to ``instance.compile()``).
     """
     n, k = instance.n, instance.k
     if n == 0:
@@ -209,16 +235,19 @@ def solve_non_overlapping_dp(
         raise ValueError(
             f"non-overlapping DP tracks an antenna bitmask; k={k} too large"
         )
-    widths = [a.rho for a in instance.antennas]
+    compiled = instance.compile() if compiled is None else compiled
     if candidates is None:
-        candidates = shared_rotation_candidates(instance.thetas, widths)
+        candidates = compiled.candidates()
     candidates = np.sort(np.asarray(candidates, dtype=np.float64))
+    widths = [a.rho for a in instance.antennas]
     m = candidates.size
     t_solve = time.perf_counter()
     with span("solver.non_overlapping_dp", n=int(n), k=int(k),
               candidates=int(m)) as sp:
         with _DP_TABLES.time():
-            prof_tab, pick_tab = _window_profit_tables(instance, candidates, oracle)
+            prof_tab, pick_tab = _window_profit_tables(
+                instance, candidates, oracle, compiled
+            )
         keys = [(a.rho, a.capacity) for a in instance.antennas]
         uniform = len(set(keys)) == 1
         t_search = time.perf_counter()

@@ -23,7 +23,7 @@ solvers here lift the 1-D machinery through that reduction:
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -39,43 +39,28 @@ from repro.obs.metrics import get_registry
 from repro.packing.multi import solve_greedy_multi
 from repro.packing.single import best_rotation
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledSectorInstance
+
 # Solver-level telemetry (contract: docs/OBSERVABILITY.md).
 _REG = get_registry()
 _SG_TIMER = _REG.timer("solver.sector_greedy")
 _SG_ROUNDS = _REG.counter("solver.sector_greedy.rounds")
 _SI_TIMER = _REG.timer("solver.sector_independent")
-_ELIG_TIMER = _REG.timer("phase.sector.eligibility")
-
-
-def _eligibility(
-    instance: SectorInstance,
-) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
-    """Per global antenna: (eligible mask, relative thetas, relative radii)."""
-    t0 = time.perf_counter()
-    masks: List[np.ndarray] = []
-    thetas_per: List[np.ndarray] = []
-    rs_per: List[np.ndarray] = []
-    polar_cache: dict = {}
-    for g, s_id, spec in instance.antenna_table():
-        if s_id not in polar_cache:
-            polar_cache[s_id] = instance.station_polar(s_id)
-        thetas, rs = polar_cache[s_id]
-        masks.append(rs <= spec.radius * (1.0 + 1e-12))
-        thetas_per.append(thetas)
-        rs_per.append(rs)
-    _ELIG_TIMER.observe(time.perf_counter() - t0)
-    return masks, thetas_per, rs_per
 
 
 def sector_covered_matrix(
-    instance: SectorInstance, orientations: Sequence[float] | np.ndarray
+    instance: SectorInstance,
+    orientations: Sequence[float] | np.ndarray,
+    compiled: Optional["CompiledSectorInstance"] = None,
 ) -> np.ndarray:
     """Boolean ``(n, K)``: customer inside antenna ``g``'s oriented sector."""
     ori = np.asarray(orientations, dtype=np.float64).reshape(-1)
     K = instance.total_antennas
     if ori.shape != (K,):
         raise ValueError(f"orientations must have shape ({K},), got {ori.shape}")
-    masks, thetas_per, _ = _eligibility(instance)
+    compiled = instance.compile() if compiled is None else compiled
+    masks, thetas_per, _ = compiled.eligibility()
     out = np.zeros((instance.n, K), dtype=bool)
     for g, s_id, spec in instance.antenna_table():
         ang = angles_in_window(thetas_per[g], float(ori[g]), spec.rho)
@@ -121,6 +106,7 @@ def solve_exact_sector(
     instance: SectorInstance,
     max_tuples: int = 200_000,
     max_nodes_per_tuple: int = 500_000,
+    compiled: Optional["CompiledSectorInstance"] = None,
 ) -> "SectorSolution":
     """Globally optimal 2-D solution for *small* instances (any stations).
 
@@ -135,14 +121,14 @@ def solve_exact_sector(
     """
     import itertools
 
-    from repro.geometry.sweep import CircularSweep
     from repro.packing.exact import exact_assignment
 
     n = instance.n
     K = instance.total_antennas
     if n == 0:
         return SectorSolution.empty(instance)
-    masks, thetas_per, _ = _eligibility(instance)
+    compiled = instance.compile() if compiled is None else compiled
+    masks, thetas_per, _ = compiled.eligibility()
     table = instance.antenna_table()
 
     # Candidate orientations + their coverage columns, per antenna.
@@ -154,7 +140,7 @@ def solve_exact_sector(
         starts: List[float] = []
         cols: List[np.ndarray] = []
         if idx.size:
-            sweep = CircularSweep(thetas_per[g][idx], spec.rho)
+            sweep = compiled.station(s_id).subset_sweep(idx, spec.rho)
             seen: set = set()
             for wid in sweep.unique_window_ids():
                 w = sweep.window(int(wid))
@@ -212,25 +198,30 @@ def solve_sector_greedy(
     instance: SectorInstance,
     oracle: KnapsackSolver,
     adaptive: bool = True,
+    compiled: Optional["CompiledSectorInstance"] = None,
 ) -> SectorSolution:
     """Global greedy over every antenna of every station.
 
     ``adaptive=True`` re-evaluates all unused antennas each round and
     commits the single best (the separable-assignment greedy);
     ``adaptive=False`` processes antennas once in decreasing capacity
-    order (k× fewer oracle calls, same guarantee).
+    order (k× fewer oracle calls, same guarantee).  ``compiled`` is the
+    shared precomputation view (defaults to ``instance.compile()``); the
+    per-round rotation searches derive their subset sweeps from its
+    per-station sorted angles instead of re-sorting.
     """
     n = instance.n
     K = instance.total_antennas
     t0 = time.perf_counter()
+    compiled = instance.compile() if compiled is None else compiled
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(K, dtype=np.float64)
     remaining = np.ones(n, dtype=bool)
-    masks, thetas_per, _ = _eligibility(instance)
+    masks, thetas_per, _ = compiled.eligibility()
     table = instance.antenna_table()
 
     def run_rotation(g: int):
-        spec = table[g][2]
+        s_id, spec = table[g][1], table[g][2]
         avail = remaining & masks[g]
         idx = np.flatnonzero(avail)
         out = best_rotation(
@@ -239,6 +230,7 @@ def solve_sector_greedy(
             instance.profits[idx],
             spec,
             oracle,
+            sweep=compiled.station(s_id).subset_sweep(idx, spec.rho),
         )
         return out, idx
 
@@ -280,6 +272,7 @@ def solve_sector_greedy(
 def solve_sector_independent(
     instance: SectorInstance,
     oracle: KnapsackSolver,
+    compiled: Optional["CompiledSectorInstance"] = None,
 ) -> SectorSolution:
     """Baseline: nearest-station partition, then independent 1-D solves.
 
@@ -292,12 +285,13 @@ def solve_sector_independent(
     n = instance.n
     K = instance.total_antennas
     t0 = time.perf_counter()
+    compiled = instance.compile() if compiled is None else compiled
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(K, dtype=np.float64)
     # Station of each customer: nearest reaching station or -1.
     dist = np.full((n, instance.m), np.inf)
     for s_id in range(instance.m):
-        _, rs = instance.station_polar(s_id)
+        rs = compiled.station(s_id).rs
         reach = rs <= instance.stations[s_id].max_radius * (1.0 + 1e-12)
         dist[reach, s_id] = rs[reach]
     home = np.where(np.isfinite(dist.min(axis=1)), dist.argmin(axis=1), -1)
@@ -312,7 +306,8 @@ def solve_sector_independent(
         if mine.size == 0:
             continue
         st = instance.stations[s_id]
-        thetas, rs = instance.station_polar(s_id)
+        station = compiled.station(s_id)
+        thetas, rs = station.thetas, station.rs
         # Per-station 1-D instance over the customers within the *minimum*
         # antenna radius (conservative for mixed radii, exact when equal).
         r_min = min(a.radius for a in st.antennas)
@@ -341,6 +336,7 @@ def improve_sector_solution(
     solution: "SectorSolution",
     oracle: KnapsackSolver,
     max_rounds: int = 5,
+    compiled: Optional["CompiledSectorInstance"] = None,
 ) -> "SectorSolution":
     """Monotone local search on a 2-D solution (the sector analogue of
     :func:`repro.packing.local_search.improve_solution`).
@@ -352,14 +348,15 @@ def improve_sector_solution(
     """
     assignment = solution.assignment.copy()
     orientations = solution.orientations.copy()
-    masks, thetas_per, _ = _eligibility(instance)
+    compiled = instance.compile() if compiled is None else compiled
+    masks, thetas_per, _ = compiled.eligibility()
     table = instance.antenna_table()
     K = instance.total_antennas
 
     for _ in range(max_rounds):
         improved = False
         for g in range(K):
-            spec = table[g][2]
+            s_id, spec = table[g][1], table[g][2]
             available = ((assignment == -1) | (assignment == g)) & masks[g]
             idx = np.flatnonzero(available)
             if idx.size == 0:
@@ -370,6 +367,7 @@ def improve_sector_solution(
                 instance.profits[idx],
                 spec,
                 oracle,
+                sweep=compiled.station(s_id).subset_sweep(idx, spec.rho),
             )
             current = float(instance.profits[assignment == g].sum())
             if out.value > current + 1e-12:
@@ -386,6 +384,7 @@ def improve_sector_solution(
 def solve_sector_splittable(
     instance: SectorInstance,
     orientations: Sequence[float] | np.ndarray,
+    compiled: Optional["CompiledSectorInstance"] = None,
 ) -> Tuple[np.ndarray, float]:
     """Exact splittable optimum for fixed orientations.
 
@@ -394,7 +393,7 @@ def solve_sector_splittable(
     upper-bounds every unsplittable solution at these orientations.
     """
     ori = np.asarray(orientations, dtype=np.float64).reshape(-1)
-    cover = sector_covered_matrix(instance, ori)
+    cover = sector_covered_matrix(instance, ori, compiled=compiled)
     n, K = instance.n, instance.total_antennas
     caps = np.array([spec.capacity for _, _, spec in instance.antenna_table()])
     fractions = np.zeros((n, K), dtype=np.float64)

@@ -27,12 +27,11 @@ measures this loss against the exact DP as ``t`` grows.
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.geometry.angles import TWO_PI, ccw_delta
-from repro.geometry.sweep import CircularSweep
 from repro.knapsack.api import KnapsackSolver
 from repro.model.instance import AngleInstance
 from repro.model.solution import AngleSolution
@@ -41,6 +40,9 @@ from repro.obs import span
 from repro.obs.metrics import get_registry
 from repro.resilience.budget import checkpoint as _budget_checkpoint
 from repro.resilience.budget import tick_nodes as _budget_tick
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 # Solver-level telemetry (contract: docs/OBSERVABILITY.md).
 _REG = get_registry()
@@ -55,6 +57,7 @@ def solve_shifting(
     oracle: KnapsackSolver,
     t: int = 8,
     boundary_fill: bool = True,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Best-of-``t``-cuts disjoint packing; requires identical antennas.
 
@@ -63,7 +66,8 @@ def solve_shifting(
         value >= oracle.guarantee * (1 - rho/(2*pi) - 1/t) * OPT_no
 
     Complexity: ``O(n)`` oracle calls once, plus ``t`` linear DPs of size
-    ``O(n k)``.
+    ``O(n k)``.  ``compiled`` is the shared precomputation view (defaults
+    to ``instance.compile()``), supplying the sweep and demand prefix.
     """
     if t < 1:
         raise ValueError(f"need at least one cut, got t={t}")
@@ -72,14 +76,15 @@ def solve_shifting(
     n, k = instance.n, instance.k
     if n == 0:
         return AngleSolution.empty(instance)
+    compiled = instance.compile() if compiled is None else compiled
     spec = instance.antennas[0]
     rho = spec.rho
 
     t_solve = time.perf_counter()
     with span("solver.shifting", n=int(n), k=int(k), t=int(t)) as sp:
         t_pre = time.perf_counter()
-        sweep = CircularSweep(instance.thetas, rho)
-        demand_sums = sweep.window_sums(instance.demands)
+        sweep = compiled.sweep(rho)
+        demand_sums = sweep.window_sums_from_prefix(compiled.demand_prefix)
         ids = sweep.unique_window_ids()
         # Precompute oracle profit + selection per unique canonical window.
         starts = np.empty(ids.size, dtype=np.float64)

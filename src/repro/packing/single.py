@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.model.solution import AngleSolution, FractionalSolution
 from repro.numerics import fits
 from repro.obs import span
 from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledAngleInstance
 
 # Rotation-search telemetry (contract: docs/OBSERVABILITY.md).  Per-window
 # work is aggregated locally and flushed once per search, so the inner
@@ -84,6 +87,9 @@ def best_rotation(
     profits: np.ndarray,
     spec: AntennaSpec,
     oracle: KnapsackSolver,
+    sweep: Optional[CircularSweep] = None,
+    demand_prefix: Optional[np.ndarray] = None,
+    profit_prefix: Optional[np.ndarray] = None,
 ) -> RotationOutcome:
     """Best orientation + packing of one antenna over the given customers.
 
@@ -92,6 +98,13 @@ def best_rotation(
 
     Complexity: ``O(n log n)`` for the sweep plus one oracle call per
     unique window that survives the profit-sum pruning.
+
+    The compiled-instance fast path: callers holding a
+    :class:`~repro.core.compiled.CompiledAngleInstance` pass the memoized
+    ``sweep`` (which must be over exactly these ``thetas`` at width
+    ``spec.rho``) and optionally the matching doubled prefix sums, skipping
+    the per-call sort and cumulative sums.  Both paths produce bit-identical
+    results.
     """
     thetas = np.asarray(thetas, dtype=np.float64)
     n = thetas.size
@@ -99,9 +112,18 @@ def best_rotation(
         return RotationOutcome.empty()
     t0 = time.perf_counter()
     with span("rotation.search", n=int(n)) as sp:
-        sweep = CircularSweep(thetas, spec.rho)
-        profit_sums = sweep.window_sums(profits)
-        demand_sums = sweep.window_sums(demands)
+        if sweep is None:
+            sweep = CircularSweep(thetas, spec.rho)
+        profit_sums = (
+            sweep.window_sums(profits)
+            if profit_prefix is None
+            else sweep.window_sums_from_prefix(profit_prefix)
+        )
+        demand_sums = (
+            sweep.window_sums(demands)
+            if demand_prefix is None
+            else sweep.window_sums_from_prefix(demand_prefix)
+        )
         ids = sweep.unique_window_ids()
         # Visit windows by decreasing profit potential.
         ids = ids[np.argsort(-profit_sums[ids], kind="stable")]
@@ -202,17 +224,29 @@ def best_rotation_fractional(
 
 
 def solve_single_antenna(
-    instance: AngleInstance, oracle: KnapsackSolver
+    instance: AngleInstance,
+    oracle: KnapsackSolver,
+    compiled: Optional["CompiledAngleInstance"] = None,
 ) -> AngleSolution:
     """Solve a ``k == 1`` instance with the given knapsack oracle.
 
     Raises ``ValueError`` when the instance has more than one antenna (use
-    the multi-antenna solvers instead).
+    the multi-antenna solvers instead).  ``compiled`` is the optional
+    shared precomputation view (defaults to ``instance.compile()``).
     """
     if instance.k != 1:
         raise ValueError(f"solve_single_antenna needs k == 1, got k={instance.k}")
+    compiled = instance.compile() if compiled is None else compiled
+    spec = instance.antennas[0]
     out = best_rotation(
-        instance.thetas, instance.demands, instance.profits, instance.antennas[0], oracle
+        instance.thetas,
+        instance.demands,
+        instance.profits,
+        spec,
+        oracle,
+        sweep=compiled.sweep(spec.rho),
+        demand_prefix=compiled.demand_prefix,
+        profit_prefix=compiled.profit_prefix,
     )
     assignment = np.full(instance.n, -1, dtype=np.int64)
     assignment[out.selected] = 0

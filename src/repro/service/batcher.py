@@ -18,7 +18,12 @@ arrival.  Each batch runs off the event loop on a dedicated worker thread:
    a long-lived service amortize anything);
 3. **in-batch dedup** — identical cacheable requests in one batch solve
    once and share the report;
-4. **batched fan-out** — the remaining misses go through
+4. **compile prewarm** — each distinct instance among the surviving
+   misses is compiled once into the parent's fingerprint-keyed compile
+   cache (:func:`repro.engine.cache.shared_compiled`), so serial batch
+   solves share one :class:`~repro.core.compiled.CompiledInstance` per
+   distinct instance instead of compiling per request;
+5. **batched fan-out** — the remaining misses go through
    :func:`repro.engine.solve_many` over the hardened process pool, and the
    returned reports are stored back into the parent cache
    (:func:`repro.engine.cache_store`).
@@ -130,7 +135,18 @@ def run_batch(
         unique.append(i)
     if unique:
         from repro.engine import solve_many
+        from repro.engine.cache import shared_compiled
 
+        # Prewarm the parent compile cache: one CompiledInstance per
+        # distinct instance in the batch.  Serial solves (the < 4-request
+        # fallback and workers=1) then hit it instead of recompiling per
+        # request; knapsack triples and other unfingerprintable payloads
+        # are skipped.
+        for i in unique:
+            try:
+                shared_compiled(requests[i].instance)
+            except TypeError:
+                continue
         solved = solve_many([requests[i] for i in unique], workers=workers)
         for i, report in zip(unique, solved):
             reports[i] = report

@@ -34,7 +34,7 @@ from repro.engine import (
     specs,
 )
 from repro.engine.cache import (
-    PRECOMPUTE_CACHE,
+    COMPILE_CACHE,
     RESULT_CACHE,
     RESULT_CACHE_MAXSIZE,
     LruCache,
@@ -226,9 +226,9 @@ class TestMetricNames:
         "engine.cache.hits",
         "engine.cache.misses",
         "engine.cache.evictions",
-        "engine.precompute.hits",
-        "engine.precompute.misses",
-        "engine.precompute.evictions",
+        "engine.compile.hits",
+        "engine.compile.misses",
+        "engine.compile.evictions",
     ]
 
     def test_cold_then_warm_counter_arithmetic(self):
@@ -257,28 +257,26 @@ class TestMetricNames:
 
 
 # ----------------------------------------------------------------------
-# Precompute sharing
+# Compiled-instance sharing
 # ----------------------------------------------------------------------
-class TestPrecomputeSharing:
-    def test_solvers_share_sweeps_across_algorithms(self):
+class TestCompileSharing:
+    def test_solvers_share_compiled_views_across_algorithms(self):
         reg = get_registry()
         inst = small_angle()
         solve(SolveRequest(instance=inst, algorithm="dp-disjoint",
                            use_cache=False))
-        misses_after_first = reg.snapshot()["engine.precompute.misses"]["value"]
-        solve(SolveRequest(instance=inst, algorithm="dp-disjoint",
+        misses_after_first = reg.snapshot()["engine.compile.misses"]["value"]
+        solve(SolveRequest(instance=inst, algorithm="greedy",
                            use_cache=False))
         snap = reg.snapshot()
-        assert snap["engine.precompute.misses"]["value"] == misses_after_first
-        assert snap["engine.precompute.hits"]["value"] > 0
+        assert snap["engine.compile.misses"]["value"] == misses_after_first
+        assert snap["engine.compile.hits"]["value"] > 0
 
-    def test_shared_candidates_are_read_only(self):
-        from repro.engine.cache import shared_rotation_candidates
+    def test_shared_compiled_candidates_are_read_only(self):
+        from repro.engine.cache import shared_compiled
 
         inst = small_angle()
-        cand = shared_rotation_candidates(
-            inst.thetas, [a.rho for a in inst.antennas]
-        )
+        cand = shared_compiled(inst).candidates()
         with pytest.raises((ValueError, RuntimeError)):
             cand[0] = 0.0
 
