@@ -13,13 +13,23 @@ without breaking comparisons against older baselines:
 * ``summary``     — per-solver solve throughput (``runs / total_wall_time_s``);
 * ``cache_bench`` — cold and warm solve rates plus the warm speedup;
 * ``service_bench`` — ``single_rps`` / ``batched_rps`` / ``warm_rps``;
-* ``compile_bench`` — cold/shared compile-amortized solve rates and speedup.
+* ``compile_bench`` — cold/shared compile-amortized solve rates and speedup;
+* ``backend_bench`` — python-vs-numpy backend speedups and per-backend
+  solve rates (``docs/BACKENDS.md``).
 
 Exit status: ``0`` when no shared metric regressed by more than
 ``--threshold`` (default 20%), ``1`` when at least one did, ``2`` on
 bad inputs.  All metrics are oriented so that **higher is better**;
 micro-benchmark wall times are noisy, so the intended wiring is an
-*advisory* invocation (see ``scripts/smoke.sh``).
+*advisory* invocation (see ``scripts/smoke.sh``) — except for sections
+named with ``--enforce``.
+
+``--enforce SECTION`` (repeatable, e.g. ``--enforce backend_bench``)
+narrows the *failing* set: only regressions in metrics of the named
+sections set the exit code, everything else stays advisory (still
+printed).  An enforced section missing from the candidate payload is
+itself a failure — the gate cannot silently pass by dropping the
+section it guards.
 """
 
 from __future__ import annotations
@@ -61,6 +71,21 @@ def _section_throughputs(payload: dict) -> Dict[str, float]:
         for field in ("cold_solves_per_s", "shared_solves_per_s", "speedup"):
             if field in pb:
                 out[f"compile_bench.{field}"] = pb[field]
+    bb = payload.get("backend_bench")
+    if bb:
+        for field in (
+            "knapsack_speedup", "kernel_speedup", "angle_speedup",
+            "sector_speedup",
+        ):
+            if field in bb:
+                out[f"backend_bench.{field}"] = bb[field]
+        for field in (
+            "knapsack_numpy_s", "kernel_numpy_s", "angle_numpy_s",
+            "sector_numpy_s",
+        ):
+            if bb.get(field, 0.0) > 0:
+                name = field.replace("_s", "_solves_per_s")
+                out[f"backend_bench.{name}"] = 1.0 / bb[field]
     return out
 
 
@@ -102,18 +127,39 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.2,
         help="max tolerated fractional throughput drop (default 0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--enforce", action="append", metavar="SECTION", default=None,
+        help="only regressions in this section's metrics set the exit code "
+             "(repeatable); the section must be present in the candidate",
+    )
     args = parser.parse_args(argv)
     try:
-        base = _throughputs(_load(args.baseline))
-        cand = _throughputs(_load(args.candidate))
+        base_payload = _load(args.baseline)
+        cand_payload = _load(args.candidate)
+        base = _throughputs(base_payload)
+        cand = _throughputs(cand_payload)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"bench_compare: {exc}", file=sys.stderr)
         return 2
+    for section in args.enforce or ():
+        if section != "summary" and section not in cand_payload:
+            print(
+                f"bench_compare: enforced section {section!r} missing from "
+                f"{args.candidate}",
+                file=sys.stderr,
+            )
+            return 1
     if not base or not cand:
         print("bench_compare: no throughput metrics found", file=sys.stderr)
         return 2
 
+    enforced_prefixes = tuple(f"{s}." for s in args.enforce or ())
+
+    def _enforced(name: str) -> bool:
+        return not enforced_prefixes or name.startswith(enforced_prefixes)
+
     regressions = 0
+    failing = 0
     shared = 0
     width = max(len(name) for name in set(base) | set(cand))
     print(f"{'metric':<{width}}  {'baseline':>12}  {'candidate':>12}  ratio")
@@ -125,15 +171,27 @@ def main(argv=None) -> int:
             print(f"{name:<{width}}  {b:>12.3f}  {'-':>12}  (not in candidate)")
             continue
         shared += 1
-        marker = "  <-- REGRESSED" if status == "REGRESSED" else ""
-        print(f"{name:<{width}}  {b:>12.3f}  {c:>12.3f}  {ratio:5.2f}x{marker}")
         if status == "REGRESSED":
             regressions += 1
+            marker = "  <-- REGRESSED"
+            if _enforced(name):
+                failing += 1
+            else:
+                marker += " (advisory)"
+        else:
+            marker = ""
+        print(f"{name:<{width}}  {b:>12.3f}  {c:>12.3f}  {ratio:5.2f}x{marker}")
+    scope = (
+        f" ({len(enforced_prefixes)} enforced section(s): "
+        f"{', '.join(args.enforce)}; {failing} failing)"
+        if enforced_prefixes
+        else ""
+    )
     print(
         f"\n{shared} shared metrics, {regressions} regressed more than "
-        f"{args.threshold:.0%} ({args.baseline} -> {args.candidate})"
+        f"{args.threshold:.0%}{scope} ({args.baseline} -> {args.candidate})"
     )
-    return 1 if regressions else 0
+    return 1 if failing else 0
 
 
 if __name__ == "__main__":

@@ -5,7 +5,7 @@ Run from the repo root (``scripts/smoke.sh`` does)::
 
     PYTHONPATH=src python scripts/check_docs.py
 
-Four checks, all hard failures:
+Five checks, all hard failures:
 
 1. **Docstring coverage** — every public module under ``repro`` and every
    public top-level class/function in it carries a docstring (100%, no
@@ -20,6 +20,10 @@ Four checks, all hard failures:
    harness parser.
 4. **Relative links** — every relative markdown link target exists on
    disk.
+5. **Registry coverage** — every solver registered in the engine
+   (:func:`repro.engine.specs`) is mentioned by name (as a ``code
+   span``) in ``docs/ENGINE.md``, so the solver table there can never
+   silently fall behind the registry.
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
@@ -134,11 +138,12 @@ def known_cli_flags() -> set:
                     walk(sub)
 
     walk(build_parser())
-    harness = ROOT / "benchmarks" / "harness.py"
-    if harness.exists():
-        for match in re.findall(r"add_argument\(\s*[\"'](--[\w-]+)",
-                                harness.read_text(encoding="utf-8")):
-            flags.add(match)
+    for script in (ROOT / "benchmarks" / "harness.py",
+                   ROOT / "scripts" / "bench_compare.py"):
+        if script.exists():
+            for match in re.findall(r"add_argument\(\s*[\"'](--[\w-]+)",
+                                    script.read_text(encoding="utf-8")):
+                flags.add(match)
     return flags
 
 
@@ -176,18 +181,39 @@ def check_links(problems: list) -> int:
     return checked
 
 
+def check_registry_docs(problems: list) -> int:
+    """Every registered solver must appear as a code span in ENGINE.md."""
+    from repro.engine import FAMILIES, specs
+
+    engine_md = ROOT / "docs" / "ENGINE.md"
+    text = engine_md.read_text(encoding="utf-8")
+    checked = 0
+    for family in FAMILIES:
+        for spec in specs(family):
+            checked += 1
+            # Substring test rather than backtick-pair parsing: the code
+            # fences in ENGINE.md would desync a pairing regex.
+            if f"`{spec.name}`" not in text:
+                problems.append(
+                    f"registry: {family}/{spec.name} is registered but "
+                    f"`{spec.name}` never appears in docs/ENGINE.md"
+                )
+    return checked
+
+
 def main() -> int:
     problems: list = []
     symbols = check_docstrings(problems)
     metrics = check_metric_names(problems)
     flags = check_cli_flags(problems)
     links = check_links(problems)
+    solvers = check_registry_docs(problems)
     for p in problems:
         print(p, file=sys.stderr)
     print(
         f"check_docs: {symbols} public symbols, {metrics} metric mentions, "
         f"{flags} flag mentions, {links} links checked, "
-        f"{len(problems)} problem(s)"
+        f"{solvers} registered solvers checked, {len(problems)} problem(s)"
     )
     return 1 if problems else 0
 

@@ -53,13 +53,33 @@ python -m repro bench --families uniform --n 50 --seeds 0 \
     --solvers greedy,shifting --tag smoke --output "$out"
 python -m repro bench --check "$out"
 
+echo "== backend bench round-trip =="
+# Small-n backend-comparison smoke: exercises the python-vs-numpy section
+# (value identity is asserted inside the harness; a mismatch aborts the
+# bench) and validates the payload with the section present.
+backend_out="$tmp/BENCH_backend_smoke.json"
+python -m repro bench --families uniform --n 50 --seeds 0 \
+    --solvers greedy --tag backend-smoke --backend-bench \
+    --output "$backend_out"
+python -m repro bench --check "$backend_out"
+
 echo "== bench comparison (advisory) =="
 # Throughput diff between the two most recent committed payloads.  Wall
 # times from different machines/sessions are noisy, so a regression here
 # warns without failing the smoke (see scripts/bench_compare.py).
-if [ -f BENCH_pr4.json ] && [ -f BENCH_pr5.json ]; then
-    python scripts/bench_compare.py BENCH_pr4.json BENCH_pr5.json ||
+if [ -f BENCH_pr5.json ] && [ -f BENCH_pr6.json ]; then
+    python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json ||
         echo "bench_compare: advisory throughput regression (not fatal)"
+fi
+
+echo "== bench comparison (enforced: backend_bench) =="
+# The backend-comparison section is the one section the smoke *enforces*:
+# the committed payload must carry it, and once a baseline payload has it
+# too, >20% regressions in its metrics fail the smoke (no advisory
+# fallback here — see scripts/bench_compare.py --enforce).
+if [ -f BENCH_pr6.json ]; then
+    python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json \
+        --enforce backend_bench
 fi
 
 echo "== resilience smoke =="

@@ -161,6 +161,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
                     algorithm=args.algorithm,
                     eps=args.eps,
                     timeout_s=timeout,
+                    backend=getattr(args, "backend", "auto"),
                 )
             )
             sol = report.solution
@@ -340,6 +341,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             cache_bench=args.cache_bench,
             service_bench=args.service_bench,
             compile_bench=args.compile_bench,
+            backend_bench=args.backend_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -507,6 +509,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--fallback", action="store_true",
                    help="degrade exact -> fptas -> greedy instead of failing "
                         "(--timeout bounds the exact stage)")
+    s.add_argument("--backend", default="auto",
+                   choices=("auto", "python", "numpy"),
+                   help="kernel implementation: 'numpy' vectorizes the hot "
+                        "loops of capable solvers (value-identical, see "
+                        "docs/BACKENDS.md), 'auto' picks it on large "
+                        "instances, 'python' forces the scalar oracle path")
     s.set_defaults(fn=cmd_solve)
 
     c = sub.add_parser("compare", help="run the solver suite on an instance")
@@ -556,6 +564,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--compile-bench", action="store_true",
                    help="add the compiled-instance benchmark section "
                         "(per-call compilation vs one shared compiled view)")
+    b.add_argument("--backend-bench", action="store_true",
+                   help="add the backend-comparison section: large-n sweep "
+                        "and sector workloads on the python vs numpy "
+                        "backends, asserting value identity")
     b.add_argument("--tag", default="pr1", help="tag baked into the payload/filename")
     b.add_argument("--output", help="output path (default BENCH_<tag>.json)")
     b.add_argument("--check", metavar="PATH",

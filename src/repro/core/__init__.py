@@ -3,10 +3,21 @@
 :mod:`repro.core.compiled` holds the struct-of-arrays "compiled" view of a
 problem instance — the common precomputation prefix (sorts, prefix sums,
 candidate grids, per-station polar conversions) that every solver family
-needs.  See ``docs/ARCHITECTURE.md`` for where this layer sits in the
-stack.
+needs.  :mod:`repro.core.backend` holds the vectorized numpy kernels that
+consume those views when a solver runs with ``backend="numpy"`` (contract:
+``docs/BACKENDS.md``).  See ``docs/ARCHITECTURE.md`` for where this layer
+sits in the stack.
 """
 
+from repro.core.backend import (
+    AUTO_NUMPY_MIN_N,
+    BACKENDS,
+    batched_station_polar,
+    greedy_prefix_mask,
+    nearest_reaching_station,
+    normalize_backend,
+    rotation_scan,
+)
 from repro.core.compiled import (
     CompiledAngleInstance,
     CompiledInstance,
@@ -25,4 +36,11 @@ __all__ = [
     "CompiledItems",
     "compile_instance",
     "compile_items",
+    "BACKENDS",
+    "AUTO_NUMPY_MIN_N",
+    "normalize_backend",
+    "rotation_scan",
+    "greedy_prefix_mask",
+    "batched_station_polar",
+    "nearest_reaching_station",
 ]

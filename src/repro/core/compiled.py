@@ -235,13 +235,24 @@ class CompiledStation:
     fitting-radius masks per antenna radius.
     """
 
-    def __init__(self, instance, station_id: int) -> None:
-        from repro.geometry.points import relative_polar
+    def __init__(
+        self,
+        instance,
+        station_id: int,
+        polar: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        if polar is None:
+            from repro.geometry.points import relative_polar
 
-        st = instance.stations[station_id]
-        thetas, rs = relative_polar(
-            instance.positions, np.asarray(st.position)
-        )
+            st = instance.stations[station_id]
+            thetas, rs = relative_polar(
+                instance.positions, np.asarray(st.position)
+            )
+        else:
+            # Batched construction (repro.core.backend.batched_station_polar)
+            # hands in this station's row of the (m, n) polar matrices —
+            # bit-identical to the per-station conversion above.
+            thetas, rs = np.ascontiguousarray(polar[0]), np.ascontiguousarray(polar[1])
         self.station_id = int(station_id)
         self.thetas = _frozen(thetas)
         self.rs = _frozen(rs)
@@ -301,7 +312,33 @@ class CompiledSectorInstance(CompiledInstance):
                 self._stations[key] = view
             return view
 
-    def eligibility(self) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
+    def ensure_stations(self) -> None:
+        """Build every missing station view from one batched polar pass.
+
+        One ``(m, n)`` broadcast conversion
+        (:func:`repro.core.backend.batched_station_polar`) replaces ``m``
+        separate per-station conversions; each row is bit-identical to
+        what :meth:`station` would compute lazily, so views built either
+        way are interchangeable (and shared between backends).
+        """
+        m = len(self.instance.stations)
+        with self._lock:
+            missing = [s for s in range(m) if s not in self._stations]
+        if not missing:
+            return
+        from repro.core.backend import batched_station_polar
+
+        thetas_all, rs_all = batched_station_polar(self.instance)
+        with self._lock:
+            for s in missing:
+                if s not in self._stations:
+                    self._stations[s] = CompiledStation(
+                        self.instance, s, polar=(thetas_all[s], rs_all[s])
+                    )
+
+    def eligibility(
+        self, backend: str = "python"
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
         """Per-antenna ``(masks, thetas, rs)`` for the global antenna table.
 
         For global antenna ``g`` at station ``s`` with spec ``a``:
@@ -309,11 +346,18 @@ class CompiledSectorInstance(CompiledInstance):
         1e-12)``, and ``thetas[g]`` / ``rs[g]`` are the station's relative
         polar arrays.  This is the (previously per-call) eligibility
         precomputation of the sector solvers.
+
+        ``backend="numpy"`` prewarms all station views through
+        :meth:`ensure_stations` (one batched polar conversion) before
+        assembling the triple; the memoized result is identical either
+        way, so a view warmed by one backend serves both.
         """
         with self._lock:
             cached = self._eligibility
         if cached is not None:
             return cached
+        if backend == "numpy":
+            self.ensure_stations()
         with _ELIG_TIMER.time():
             masks: List[np.ndarray] = []
             thetas: List[np.ndarray] = []

@@ -11,7 +11,9 @@ Public surface (contract: ``docs/ENGINE.md``):
   :func:`solve_many` — the uniform solve envelope;
 * :func:`cache_probe` / :func:`cache_store` — parent-process warm-cache
   helpers for batching front ends (:mod:`repro.service`);
-* :func:`~repro.engine.planner.plan` — ``algorithm="auto"`` resolution;
+* :func:`~repro.engine.planner.plan` — ``algorithm="auto"`` resolution —
+  and :func:`~repro.engine.planner.plan_backend` — ``backend="auto"``
+  resolution against each spec's declared kernels (``docs/BACKENDS.md``);
 * :mod:`repro.engine.cache` — instance-fingerprint result + precompute
   caches (:func:`clear_caches`, ``engine.cache.*`` metrics);
 * :func:`check_registry` / :func:`smoke_check` — CI completeness gates.
@@ -26,7 +28,7 @@ from repro.engine.core import (
     solve,
     solve_many,
 )
-from repro.engine.planner import plan
+from repro.engine.planner import plan, plan_backend
 from repro.engine.registry import (
     FAMILIES,
     SolveContext,
@@ -52,6 +54,7 @@ __all__ = [
     "fingerprint",
     "get_spec",
     "plan",
+    "plan_backend",
     "register",
     "smoke_check",
     "solve",

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine import cache as _cache
-from repro.engine.planner import plan
+from repro.engine.planner import plan, plan_backend
 from repro.engine.registry import SolveContext, SolverSpec, get_spec
 from repro.obs.metrics import get_registry
 
@@ -44,6 +44,12 @@ _REG = get_registry()
 _REQUESTS = _REG.counter("engine.requests")
 _PLANNED = _REG.counter("engine.planned")
 _SOLVE_TIMER = _REG.timer("engine.solve")
+# Which kernel path served each (uncached) solve; an explicit numpy
+# request on a python-only spec counts under both python and fallback.
+# Contract: docs/OBSERVABILITY.md, docs/BACKENDS.md.
+_BACKEND_PYTHON = _REG.counter("engine.backend.python")
+_BACKEND_NUMPY = _REG.counter("engine.backend.numpy")
+_BACKEND_FALLBACK = _REG.counter("engine.backend.fallback")
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,11 @@ class SolveRequest:
     explicitly.  ``algorithm="auto"`` defers to the planner.
     ``timeout_s`` becomes a cooperative ``Budget(wall_s=...)`` activated
     around the solver (carrying a Budget object itself would not pickle).
+    ``backend`` picks the kernel implementation — ``"python"``,
+    ``"numpy"``, or ``"auto"`` (numpy when the resolved solver declares it
+    and the instance is large; see
+    :func:`repro.engine.planner.plan_backend` and ``docs/BACKENDS.md``).
+    Both backends are value-identical, so the result cache key ignores it.
     """
 
     instance: Any
@@ -65,6 +76,7 @@ class SolveRequest:
     timeout_s: Optional[float] = None
     guarantee: Optional[float] = None
     variant: str = "overlap"
+    backend: str = "auto"
     use_cache: bool = True
     label: str = ""
 
@@ -108,6 +120,29 @@ def _infer_family(instance: Any) -> str:
         f"cannot infer solver family from {type(instance).__name__}; "
         f"set SolveRequest.family explicitly"
     )
+
+
+def _instance_size(instance: Any) -> int:
+    """Customer/item count driving the backend auto threshold."""
+    n = getattr(instance, "n", None)
+    if n is not None:
+        return int(n)
+    if isinstance(instance, (tuple, list)) and len(instance) == 3:
+        import numpy as np
+
+        return int(np.size(instance[0]))
+    return 0
+
+
+def _resolve_backend(request: SolveRequest, spec: SolverSpec) -> str:
+    """Resolve the request's backend and count which path serves the solve."""
+    backend, fell_back = plan_backend(
+        request.backend, spec.backends, _instance_size(request.instance)
+    )
+    (_BACKEND_NUMPY if backend == "numpy" else _BACKEND_PYTHON).inc()
+    if fell_back:
+        _BACKEND_FALLBACK.inc()
+    return backend
 
 
 def _build_oracle(spec: SolverSpec, eps: float):
@@ -314,7 +349,8 @@ def solve(request: SolveRequest) -> SolveReport:
 
     ctx = SolveContext(eps=request.eps, seed=request.seed,
                        oracle=_build_oracle(spec, request.eps),
-                       compiled=_build_compiled(request.instance, family))
+                       compiled=_build_compiled(request.instance, family),
+                       backend=_resolve_backend(request, spec))
     budget_ctx = (
         Budget(wall_s=request.timeout_s).activate()
         if request.timeout_s is not None

@@ -26,26 +26,58 @@ and online default to ``exact`` / ``best_fit``.
 *Tight* means ``timeout_s < 2.0`` — under that the exponential solvers
 cannot be trusted to produce a certified answer, so the planner refuses
 them outright rather than betting on the anytime path.
+
+The planner also owns the *backend* auto rule (:func:`plan_backend`,
+contract in ``docs/BACKENDS.md``): a request's
+``backend="python"|"numpy"|"auto"`` resolves against the chosen spec's
+declared ``backends`` — ``"auto"`` picks numpy exactly when the spec
+declares it and the instance has at least :data:`AUTO_NUMPY_MIN_N`
+customers (below that the kernel setup cost rivals the python loop);
+requesting ``"numpy"`` on a python-only spec falls back to ``"python"``
+cleanly (the engine counts it under ``engine.backend.fallback``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
+from repro.core.backend import AUTO_NUMPY_MIN_N, normalize_backend
 from repro.engine.registry import get_spec
 
 __all__ = [
     "plan",
+    "plan_backend",
     "SMALL_N",
     "SMALL_K",
     "MID_N",
     "TIGHT_DEADLINE_S",
+    "AUTO_NUMPY_MIN_N",
 ]
 
 SMALL_N = 12
 SMALL_K = 3
 MID_N = 400
 TIGHT_DEADLINE_S = 2.0
+
+
+def plan_backend(
+    requested: str, backends: Sequence[str], size: int
+) -> Tuple[str, bool]:
+    """Resolve a requested backend against a spec's declared ``backends``.
+
+    Returns ``(backend, fell_back)`` where ``backend`` is ``"python"`` or
+    ``"numpy"`` and ``fell_back`` is True when an explicit ``"numpy"``
+    request had to drop to python because the spec declares no vectorized
+    kernel.  ``"auto"`` never counts as a fallback: it is a preference,
+    resolved by the size threshold above.
+    """
+    requested = normalize_backend(requested)
+    has_numpy = "numpy" in backends
+    if requested == "numpy":
+        return ("numpy", False) if has_numpy else ("python", True)
+    if requested == "auto" and has_numpy and size >= AUTO_NUMPY_MIN_N:
+        return "numpy", False
+    return "python", False
 
 
 def _oracle_beta(eps: float) -> float:

@@ -65,12 +65,20 @@ class SolveContext:
     family), resolved by the engine via
     :func:`repro.engine.cache.shared_compiled`; ``None`` lets each solver
     fall back to the per-object ``instance.compile()`` memo.
+
+    ``backend`` is the *resolved* kernel choice — ``"python"`` or
+    ``"numpy"``, never ``"auto"`` (the engine resolves requests through
+    :func:`repro.engine.planner.plan_backend` against the spec's declared
+    ``backends`` before building the context).  Run wrappers of
+    numpy-capable solvers thread it into the solver; the rest ignore it.
+    Contract: ``docs/BACKENDS.md``.
     """
 
     eps: float = 1.0
     seed: int = 0
     oracle: Any = None
     compiled: Any = None
+    backend: str = "python"
 
 
 @dataclass(frozen=True)
@@ -106,6 +114,14 @@ class SolverSpec:
     uses:
         Names of :mod:`repro.packing` exports this spec covers, consumed
         by the registry completeness check.
+    backends:
+        Kernel implementations this solver can run on (``"python"`` is
+        always first; solvers whose run wrapper threads
+        ``SolveContext.backend`` into vectorized kernels also declare
+        ``"numpy"``).  :func:`repro.engine.planner.plan_backend` resolves
+        a request's ``backend`` against this tuple — requesting numpy on
+        a python-only spec falls back cleanly (counted by
+        ``engine.backend.fallback``).  Contract: ``docs/BACKENDS.md``.
     accepts:
         ``accepts(instance) -> None | str``: None when applicable, else a
         one-line rejection reason (wrong k, heterogeneous antennas, ...).
@@ -122,6 +138,7 @@ class SolverSpec:
     supports_budget: bool = False
     complexity: str = "poly"
     uses: Tuple[str, ...] = ()
+    backends: Tuple[str, ...] = ("python",)
     accepts: Optional[Callable[[Any], Optional[str]]] = None
     description: str = ""
 
@@ -224,22 +241,29 @@ def _beta_greedy(beta: float) -> float:
 def _run_greedy(instance, ctx):
     from repro.packing import solve_greedy_multi
 
-    return solve_greedy_multi(instance, ctx.oracle, compiled=ctx.compiled)
+    return solve_greedy_multi(
+        instance, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
 
 
 def _run_adaptive(instance, ctx):
     from repro.packing import solve_greedy_multi
 
     return solve_greedy_multi(
-        instance, ctx.oracle, adaptive=True, compiled=ctx.compiled
+        instance, ctx.oracle, adaptive=True, compiled=ctx.compiled,
+        backend=ctx.backend,
     )
 
 
 def _run_greedy_ls(instance, ctx):
     from repro.packing import improve_solution, solve_greedy_multi
 
-    base = solve_greedy_multi(instance, ctx.oracle, compiled=ctx.compiled)
-    return improve_solution(instance, base, ctx.oracle, compiled=ctx.compiled)
+    base = solve_greedy_multi(
+        instance, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
+    return improve_solution(
+        instance, base, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
 
 
 def _run_dp_disjoint(instance, ctx):
@@ -287,7 +311,9 @@ def _run_exact_anytime(instance, ctx):
 def _run_single(instance, ctx):
     from repro.packing import solve_single_antenna
 
-    return solve_single_antenna(instance, ctx.oracle, compiled=ctx.compiled)
+    return solve_single_antenna(
+        instance, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
 
 
 def _run_splittable(instance, ctx):
@@ -304,22 +330,28 @@ def _run_splittable(instance, ctx):
 def _run_sector_greedy(instance, ctx):
     from repro.packing import solve_sector_greedy
 
-    return solve_sector_greedy(instance, ctx.oracle, compiled=ctx.compiled)
+    return solve_sector_greedy(
+        instance, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
 
 
 def _run_sector_greedy_ls(instance, ctx):
     from repro.packing import improve_sector_solution, solve_sector_greedy
 
-    base = solve_sector_greedy(instance, ctx.oracle, compiled=ctx.compiled)
+    base = solve_sector_greedy(
+        instance, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
     return improve_sector_solution(
-        instance, base, ctx.oracle, compiled=ctx.compiled
+        instance, base, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
     )
 
 
 def _run_sector_independent(instance, ctx):
     from repro.packing import solve_sector_independent
 
-    return solve_sector_independent(instance, ctx.oracle, compiled=ctx.compiled)
+    return solve_sector_independent(
+        instance, ctx.oracle, compiled=ctx.compiled, backend=ctx.backend
+    )
 
 
 def _run_sector_exact(instance, ctx):
@@ -346,6 +378,8 @@ def _make_knapsack_run(solver_name: str):
 
         weights, profits, capacity = payload
         kwargs = {"eps": ctx.eps if ctx.eps < 1.0 else 0.5} if solver_name == "fptas" else {}
+        if solver_name == "greedy":
+            kwargs["backend"] = ctx.backend
         solver = get_solver(solver_name, **kwargs)
         return solver.solve(
             np.asarray(weights, dtype=np.float64),
@@ -391,6 +425,7 @@ def _register_builtin() -> None:
         name="greedy", family="angle", run=_run_greedy,
         guarantee="b/(1+b)", guarantee_fn=_beta_greedy, supports_budget=True,
         uses=("solve_greedy_multi",),
+        backends=("python", "numpy"),
         accepts=_is_angle,
         description="separable-assignment greedy, one knapsack per antenna",
     ))
@@ -398,6 +433,7 @@ def _register_builtin() -> None:
         name="adaptive", family="angle", run=_run_adaptive,
         guarantee="b/(1+b)", guarantee_fn=_beta_greedy, supports_budget=True,
         uses=("solve_greedy_multi",),
+        backends=("python", "numpy"),
         accepts=_is_angle,
         description="greedy re-evaluating every remaining antenna each round",
     ))
@@ -406,6 +442,7 @@ def _register_builtin() -> None:
         guarantee="b/(1+b) + polish", guarantee_fn=_beta_greedy,
         supports_budget=True,
         uses=("solve_greedy_multi", "improve_solution"),
+        backends=("python", "numpy"),
         accepts=_is_angle,
         description="greedy followed by monotone local search",
     ))
@@ -459,6 +496,7 @@ def _register_builtin() -> None:
         name="single", family="angle", run=_run_single,
         guarantee="b", guarantee_fn=_beta_identity,
         uses=("solve_single_antenna", "best_rotation", "canonical_starts"),
+        backends=("python", "numpy"),
         accepts=_angle_single,
         description="rotation search for the one-antenna case",
     ))
@@ -475,6 +513,7 @@ def _register_builtin() -> None:
         name="greedy", family="sector", run=_run_sector_greedy,
         guarantee="b/(1+b)", guarantee_fn=_beta_greedy, supports_budget=True,
         uses=("solve_sector_greedy",),
+        backends=("python", "numpy"),
         accepts=_is_sector,
         description="global greedy over every antenna of every station",
     ))
@@ -483,6 +522,7 @@ def _register_builtin() -> None:
         guarantee="b/(1+b) + polish", guarantee_fn=_beta_greedy,
         supports_budget=True,
         uses=("solve_sector_greedy", "improve_sector_solution"),
+        backends=("python", "numpy"),
         accepts=_is_sector,
         description="sector greedy followed by monotone local search",
     ))
@@ -490,6 +530,7 @@ def _register_builtin() -> None:
         name="independent", family="sector", run=_run_sector_independent,
         guarantee="heuristic baseline",
         uses=("solve_sector_independent",),
+        backends=("python", "numpy"),
         accepts=_is_sector,
         description="nearest-station partition, independent 1-D solves",
     ))
@@ -523,6 +564,7 @@ def _register_builtin() -> None:
             variant="-", exact=kexact, guarantee=kguar,
             supports_eps=(kname == "fptas"),
             complexity="exponential" if kname == "exact" else "poly",
+            backends=("python", "numpy") if kname == "greedy" else ("python",),
             accepts=_knapsack_triple,
             description=f"inner knapsack oracle ({kname})",
         ))

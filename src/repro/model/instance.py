@@ -43,6 +43,31 @@ def _readonly(arr: np.ndarray) -> np.ndarray:
     return out
 
 
+def _compile_token(*arrays: np.ndarray) -> tuple:
+    """Cheap content fingerprint guarding the ``compile()`` memo.
+
+    Instance arrays are read-only by construction, but numpy cannot stop a
+    caller that owns the buffer from re-enabling ``writeable`` and
+    mutating in place — which would silently desynchronize the memoized
+    compiled view (stale sorts, stale prefix sums, wrong answers).  Two
+    O(n) reductions per array (plain sum + position-weighted sum, so
+    permutations are caught too) make the memo self-checking at a cost
+    far below one compile.  See ``docs/ARCHITECTURE.md`` (immutability
+    contract); collisions are possible in principle but require a
+    mutation preserving both reductions of some array.
+    """
+    parts = []
+    for arr in arrays:
+        a = np.asarray(arr, dtype=np.float64).ravel()
+        parts.append(float(a.sum()))
+        parts.append(
+            float(np.dot(a, np.arange(1, a.size + 1, dtype=np.float64)))
+            if a.size
+            else 0.0
+        )
+    return tuple(parts)
+
+
 def _validate_customer_arrays(
     demands: np.ndarray, profits: np.ndarray, n: int
 ) -> None:
@@ -229,19 +254,37 @@ class AngleInstance:
         it on the object.  The engine's fingerprint-keyed cache
         (:func:`repro.engine.cache.shared_compiled`) extends this memo
         across equal-content instances.
+
+        The memo assumes the instance arrays are immutable (they are
+        created read-only); a cheap content fingerprint re-checked on
+        every memo hit raises ``RuntimeError`` if they were mutated in
+        place anyway, so a stale view can never serve wrong answers.
         """
+        token = _compile_token(self.thetas, self.demands, self.profits)
         view = self.__dict__.get("_compiled")
         if view is None:
             from repro.core.compiled import compile_instance
 
             view = compile_instance(self)
             object.__setattr__(self, "_compiled", view)
+            object.__setattr__(self, "_compile_token", token)
+        elif self.__dict__.get("_compile_token") != token:
+            raise RuntimeError(
+                "AngleInstance arrays were mutated after compile(); the "
+                "memoized compiled view is stale. Instance arrays are "
+                "immutable by contract (docs/ARCHITECTURE.md) — build a "
+                "new instance instead of writing in place."
+            )
         return view
 
     def __getstate__(self) -> dict:
-        # The compiled view is derived data: drop it from pickles (worker
-        # processes rebuild on demand) instead of shipping sweeps around.
-        return {k: v for k, v in self.__dict__.items() if k != "_compiled"}
+        # The compiled view is derived data: drop it (and its staleness
+        # token) from pickles — worker processes rebuild on demand instead
+        # of shipping sweeps around.
+        return {
+            k: v for k, v in self.__dict__.items()
+            if k not in ("_compiled", "_compile_token")
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AngleInstance):
@@ -436,19 +479,32 @@ class SectorInstance:
         Station polar conversions, fitting-radius masks and the shared
         eligibility triple live on the returned
         :class:`~repro.core.compiled.CompiledSectorInstance`; see
-        :meth:`AngleInstance.compile` for the memoization contract.
+        :meth:`AngleInstance.compile` for the memoization contract
+        (including the in-place-mutation staleness guard).
         """
+        token = _compile_token(self.positions, self.demands, self.profits)
         view = self.__dict__.get("_compiled")
         if view is None:
             from repro.core.compiled import compile_instance
 
             view = compile_instance(self)
             object.__setattr__(self, "_compiled", view)
+            object.__setattr__(self, "_compile_token", token)
+        elif self.__dict__.get("_compile_token") != token:
+            raise RuntimeError(
+                "SectorInstance arrays were mutated after compile(); the "
+                "memoized compiled view is stale. Instance arrays are "
+                "immutable by contract (docs/ARCHITECTURE.md) — build a "
+                "new instance instead of writing in place."
+            )
         return view
 
     def __getstate__(self) -> dict:
         # Derived data: never pickle the compiled view (see AngleInstance).
-        return {k: v for k, v in self.__dict__.items() if k != "_compiled"}
+        return {
+            k: v for k, v in self.__dict__.items()
+            if k not in ("_compiled", "_compile_token")
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SectorInstance):

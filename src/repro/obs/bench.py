@@ -129,6 +129,7 @@ def run_bench(
     cache_bench: bool = False,
     service_bench: bool = False,
     compile_bench: bool = False,
+    backend_bench: bool = False,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -162,6 +163,12 @@ def run_bench(
     cache cleared before every solve) vs shared (one
     ``CompiledInstance`` reused across all solves), with the value
     equality between the two passes asserted.
+
+    ``backend_bench=True`` adds the additive ``backend_bench`` section
+    (``docs/BACKENDS.md``): one large-``n`` angle sweep and one
+    multi-station sector workload, each solved through the engine on the
+    ``python`` and ``numpy`` backends, with value identity between the
+    two asserted in-harness (a mismatch raises instead of recording).
     """
     from repro.engine import SolveRequest, clear_caches
     from repro.engine import solve as engine_solve
@@ -292,6 +299,8 @@ def run_bench(
         payload["service_bench"] = _run_service_bench(eps=eps)
     if compile_bench:
         payload["compile_bench"] = _run_compile_bench(eps=eps)
+    if backend_bench:
+        payload["backend_bench"] = _run_backend_bench(eps=eps)
     return payload
 
 
@@ -435,6 +444,177 @@ def _run_compile_bench(
         "compile_misses": int(
             snap.get("engine.compile.misses", {}).get("value", 0)
         ),
+    }
+
+
+def _run_backend_bench(
+    eps: float,
+    n: int = 20000,
+    k: int = 3,
+    sector_n: int = 2000,
+    knapsack_n: int = 200_000,
+    repeats: int = 3,
+    algorithm: str = "greedy",
+    sector_algorithm: str = "independent",
+) -> dict:
+    """Python-vs-numpy backend comparison on large engine workloads.
+
+    Three workloads, each solved through the engine on both backends with
+    the shared precompute cache warm (one priming solve first), so the
+    timing isolates the solver hot loop — exactly what the backend knob
+    changes:
+
+    * **knapsack** — the headline: ``knapsack_n`` items through the
+      density greedy, whose scalar path is a genuine ``O(n)``
+      one-item-at-a-time python loop that
+      :func:`repro.core.backend.greedy_prefix_mask` replays in a handful
+      of vectorized rounds.  Recorded twice: ``knapsack_speedup`` is the
+      end-to-end engine ratio (it includes the density argsort and
+      result assembly both backends share, so Amdahl caps it around
+      2-4x), and ``kernel_speedup`` times the acceptance scan itself —
+      the exact loop the backend knob swaps out, with the accept sets
+      asserted identical.  ``kernel_speedup`` is the ``>= 10x`` number
+      the acceptance bar reads;
+    * **angle** — an ``n``-customer moderate-``rho`` sweep through the
+      greedy rotation solver.  The scalar scan already prunes to a few
+      visits on this shape, so the recorded ``angle_speedup`` is a
+      parity check (~1x), not a headline — the section exists to assert
+      value identity of :func:`repro.core.backend.rotation_scan` at
+      scale;
+    * **sector** — a multi-station city at ``sector_n`` customers, where
+      the numpy path batches the per-station polar conversions and the
+      home-assignment scan.
+
+    Every comparison **asserts value identity** between the backends
+    (the ``docs/BACKENDS.md`` contract); a mismatch raises
+    ``RuntimeError`` rather than recording a payload.  Timed sections
+    run ``repeats`` times and keep the per-backend minimum, which
+    de-noises the sub-millisecond numpy sides.
+    """
+    import dataclasses
+    import math
+
+    from repro.engine import SolveRequest, clear_caches
+    from repro.engine import solve as engine_solve
+    from repro.model.generators import grid_city, uniform_angles
+
+    base = uniform_angles(n=n, k=k, seed=0, capacity_fraction=4.0)
+    spec0 = base.antennas[0]
+    angle_instance = AngleInstance(
+        thetas=base.thetas,
+        demands=base.demands,
+        profits=base.profits,
+        antennas=tuple(
+            dataclasses.replace(spec0, rho=math.pi / 3.0) for _ in range(k)
+        ),
+    )
+    sector_instance = grid_city(n=sector_n, seed=0, capacity_fraction=1.0)
+    rng = np.random.default_rng(0)
+    knapsack_instance = (
+        rng.uniform(0.1, 1.0, size=knapsack_n),
+        rng.uniform(0.1, 1.0, size=knapsack_n),
+        0.25 * 0.55 * knapsack_n,
+    )
+
+    def timed_pair(instance, family, algorithm) -> Tuple[float, float, float]:
+        def solve_once(backend: str):
+            request = SolveRequest(
+                instance=instance,
+                family=family,
+                algorithm=algorithm,
+                eps=eps,
+                use_cache=False,
+                backend=backend,
+            )
+            t0 = time.perf_counter()
+            report = engine_solve(request)
+            return time.perf_counter() - t0, report.value
+
+        clear_caches()
+        solve_once("python")  # priming: warms the shared compile cache
+        python_s = min(solve_once("python")[0] for _ in range(repeats))
+        python_value = solve_once("python")[1]
+        numpy_s = min(solve_once("numpy")[0] for _ in range(repeats))
+        numpy_value = solve_once("numpy")[1]
+        if python_value != numpy_value:
+            raise RuntimeError(
+                "backend bench invariant broken: numpy backend value "
+                f"{numpy_value!r} != python value {python_value!r} "
+                f"({family}/{algorithm})"
+            )
+        return python_s, numpy_s, float(python_value)
+
+    def speedup(python_s: float, numpy_s: float) -> float:
+        return float(python_s / numpy_s) if numpy_s > 0 else float("inf")
+
+    kn_python_s, kn_numpy_s, kn_value = timed_pair(
+        knapsack_instance, "knapsack", "greedy"
+    )
+
+    # Kernel-level comparison: the density-order acceptance scan alone
+    # (the python branch of repro.knapsack.greedy.solve_greedy vs
+    # greedy_prefix_mask), with bit-identical accept sets asserted.
+    from repro.core.backend import greedy_prefix_mask
+    from repro.knapsack.api import _fits
+
+    kw, kp, kcap = knapsack_instance
+    kcap = float(kcap)
+    dens = np.where(kw > 1e-12, kp / np.maximum(kw, 1e-300), np.inf)
+    order = np.argsort(-dens, kind="stable")
+    wo = kw[order]
+
+    def python_scan() -> np.ndarray:
+        chosen = []
+        remaining = kcap
+        for i in order:
+            if _fits(kw[i], remaining):
+                chosen.append(i)
+                remaining -= kw[i]
+        return np.array(chosen, dtype=np.intp)
+
+    kernel_python_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        scalar_sel = python_scan()
+        kernel_python_s = min(kernel_python_s, time.perf_counter() - t0)
+    kernel_numpy_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        vector_sel = order[greedy_prefix_mask(wo, kcap)]
+        kernel_numpy_s = min(kernel_numpy_s, time.perf_counter() - t0)
+    if not np.array_equal(scalar_sel, vector_sel):
+        raise RuntimeError(
+            "backend bench invariant broken: greedy_prefix_mask accept "
+            "set differs from the scalar scan"
+        )
+    angle_python_s, angle_numpy_s, angle_value = timed_pair(
+        angle_instance, "angle", algorithm
+    )
+    sector_python_s, sector_numpy_s, sector_value = timed_pair(
+        sector_instance, "sector", sector_algorithm
+    )
+    return {
+        "algorithm": algorithm,
+        "n": int(n),
+        "k": int(k),
+        "knapsack_n": int(knapsack_n),
+        "knapsack_python_s": float(kn_python_s),
+        "knapsack_numpy_s": float(kn_numpy_s),
+        "knapsack_speedup": speedup(kn_python_s, kn_numpy_s),
+        "knapsack_value": float(kn_value),
+        "kernel_python_s": float(kernel_python_s),
+        "kernel_numpy_s": float(kernel_numpy_s),
+        "kernel_speedup": speedup(kernel_python_s, kernel_numpy_s),
+        "angle_python_s": float(angle_python_s),
+        "angle_numpy_s": float(angle_numpy_s),
+        "angle_speedup": speedup(angle_python_s, angle_numpy_s),
+        "angle_value": float(angle_value),
+        "sector_algorithm": sector_algorithm,
+        "sector_n": int(sector_n),
+        "sector_python_s": float(sector_python_s),
+        "sector_numpy_s": float(sector_numpy_s),
+        "sector_speedup": speedup(sector_python_s, sector_numpy_s),
+        "sector_value": float(sector_value),
     }
 
 
@@ -589,6 +769,32 @@ _SERVICE_BENCH_FIELDS: Dict[str, type] = {
     "shed": int,
 }
 
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``backend_bench=True``; validated only when present.
+_BACKEND_BENCH_FIELDS: Dict[str, type] = {
+    "algorithm": str,
+    "n": int,
+    "k": int,
+    "knapsack_n": int,
+    "knapsack_python_s": float,
+    "knapsack_numpy_s": float,
+    "knapsack_speedup": float,
+    "knapsack_value": float,
+    "kernel_python_s": float,
+    "kernel_numpy_s": float,
+    "kernel_speedup": float,
+    "angle_python_s": float,
+    "angle_numpy_s": float,
+    "angle_speedup": float,
+    "angle_value": float,
+    "sector_algorithm": str,
+    "sector_n": int,
+    "sector_python_s": float,
+    "sector_numpy_s": float,
+    "sector_speedup": float,
+    "sector_value": float,
+}
+
 _SUMMARY_FIELDS: Dict[str, type] = {
     "runs": int,
     "total_wall_time_s": float,
@@ -698,6 +904,21 @@ def validate_bench(payload: dict) -> dict:
         _check(cp["solves"] > 0, "compile_bench.solves must be positive")
         _check(cp["compile_hits"] >= 0 and cp["compile_misses"] >= 0,
                "compile_bench counters negative")
+    if "backend_bench" in payload:
+        bb = payload["backend_bench"]
+        _check(isinstance(bb, dict), "backend_bench must be an object")
+        _check_fields(bb, _BACKEND_BENCH_FIELDS, "backend_bench")
+        for field in (
+            "knapsack_python_s", "knapsack_numpy_s",
+            "kernel_python_s", "kernel_numpy_s",
+            "angle_python_s", "angle_numpy_s",
+            "sector_python_s", "sector_numpy_s",
+            "knapsack_speedup", "kernel_speedup", "angle_speedup",
+            "sector_speedup",
+        ):
+            _check(bb[field] >= 0.0, f"backend_bench.{field} negative")
+        _check(bb["n"] > 0 and bb["sector_n"] > 0 and bb["knapsack_n"] > 0,
+               "backend_bench sizes must be positive")
     if "service_bench" in payload:
         sb = payload["service_bench"]
         _check(isinstance(sb, dict), "service_bench must be an object")
