@@ -12,7 +12,9 @@ without breaking comparisons against older baselines:
 
 * ``summary``     — per-solver solve throughput (``runs / total_wall_time_s``);
 * ``cache_bench`` — cold and warm solve rates plus the warm speedup;
-* ``service_bench`` — ``single_rps`` / ``batched_rps`` / ``warm_rps``;
+* ``service_bench`` — ``single_rps`` / ``batched_rps`` / ``warm_rps``,
+  plus the nested ``supervised`` rates (``supervised_rps`` / ``kill_rps``)
+  when the payload carries the supervised worker-pool phases;
 * ``compile_bench`` — cold/shared compile-amortized solve rates and speedup;
 * ``backend_bench`` — python-vs-numpy backend speedups and per-backend
   solve rates (``docs/BACKENDS.md``).
@@ -66,6 +68,11 @@ def _section_throughputs(payload: dict) -> Dict[str, float]:
         for field in ("single_rps", "batched_rps", "warm_rps"):
             if field in sb:
                 out[f"service_bench.{field}"] = sb[field]
+        sup = sb.get("supervised")
+        if sup:
+            for field in ("supervised_rps", "kill_rps"):
+                if field in sup:
+                    out[f"service_bench.supervised.{field}"] = sup[field]
     pb = payload.get("compile_bench")
     if pb:
         for field in ("cold_solves_per_s", "shared_solves_per_s", "speedup"):

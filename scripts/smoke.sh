@@ -67,19 +67,25 @@ echo "== bench comparison (advisory) =="
 # Throughput diff between the two most recent committed payloads.  Wall
 # times from different machines/sessions are noisy, so a regression here
 # warns without failing the smoke (see scripts/bench_compare.py).
-if [ -f BENCH_pr5.json ] && [ -f BENCH_pr6.json ]; then
-    python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json ||
+if [ -f BENCH_pr6.json ] && [ -f BENCH_pr7.json ]; then
+    python scripts/bench_compare.py BENCH_pr6.json BENCH_pr7.json ||
         echo "bench_compare: advisory throughput regression (not fatal)"
 fi
 
-echo "== bench comparison (enforced: backend_bench) =="
-# The backend-comparison section is the one section the smoke *enforces*:
-# the committed payload must carry it, and once a baseline payload has it
-# too, >20% regressions in its metrics fail the smoke (no advisory
-# fallback here — see scripts/bench_compare.py --enforce).
+echo "== bench comparison (enforced: backend_bench, service_bench) =="
+# Two sections the smoke *enforces*: the committed payload must carry
+# them, and once a baseline payload has them too, >20% regressions in
+# their metrics fail the smoke (no advisory fallback here — see
+# scripts/bench_compare.py --enforce).  backend_bench stays pinned to
+# the pr5->pr6 pair that introduced it; service_bench (including the
+# supervised kill-under-load rates) is enforced on the newest pair.
 if [ -f BENCH_pr6.json ]; then
     python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json \
         --enforce backend_bench
+fi
+if [ -f BENCH_pr7.json ]; then
+    python scripts/bench_compare.py BENCH_pr6.json BENCH_pr7.json \
+        --enforce service_bench
 fi
 
 echo "== resilience smoke =="
@@ -117,6 +123,28 @@ code=0
 wait "$serve_pid" || code=$?
 if [ "$code" -ne 0 ]; then
     echo "expected exit 0 from a drained service, got $code" >&2; exit 1
+fi
+
+echo "== chaos smoke =="
+# Supervised workers with deterministic kill injection (docs/SERVICE.md,
+# docs/RESILIENCE.md): every request must still answer (client exits 0 =
+# all statuses 0, so zero lost requests) and the drain must exit 0 with
+# the worker pool being killed underneath it.
+chaos_sock="$tmp/repro-chaos.sock"
+python -m repro serve --port 0 --unix "$chaos_sock" \
+    --workers 2 --chaos "seed=5,kill_rate=0.2" &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$chaos_sock" ] && break
+    sleep 0.1
+done
+python -m repro client solve "$inst" --unix "$chaos_sock" \
+    --algorithm greedy --repeat 8 --no-cache
+kill -TERM "$chaos_pid"
+code=0
+wait "$chaos_pid" || code=$?
+if [ "$code" -ne 0 ]; then
+    echo "expected exit 0 from a drained chaos service, got $code" >&2; exit 1
 fi
 
 echo "smoke OK"

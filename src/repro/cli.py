@@ -367,6 +367,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: run the solver service until a signal drains it."""
     from repro.service.server import run_service
 
+    chaos = None
+    if args.chaos is not None:
+        if args.workers is None:
+            print("error: --chaos requires --workers (faults are injected "
+                  "into supervised workers)", file=sys.stderr)
+            return EXIT_USAGE
+        from repro.resilience.chaos import ChaosPolicy
+
+        try:
+            chaos = ChaosPolicy.from_spec(args.chaos)
+        except ValueError as exc:
+            print(f"error: bad --chaos spec: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     return run_service(
         host=args.host,
         port=args.port,
@@ -375,6 +388,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flush_interval_s=args.flush_ms / 1000.0,
         queue_bound=args.queue_bound,
         workers=args.workers,
+        chaos=chaos,
     )
 
 
@@ -593,8 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--queue-bound", type=int, default=256,
                     help="admission limit; excess requests are shed (status 5)")
     sv.add_argument("--workers", type=int,
-                    help="process-pool workers for batched solves "
-                         "(default: REPRO_WORKERS or CPU count)")
+                    help="run N supervised engine worker subprocesses with "
+                         "shard routing and crash recovery (default: solve "
+                         "in-process via the batch thread)")
+    sv.add_argument("--chaos", metavar="SPEC",
+                    help="deterministic service fault injection into the "
+                         "workers, e.g. 'seed=7,kill_rate=0.2,corrupt_rate="
+                         "0.1'; requires --workers (docs/RESILIENCE.md)")
     sv.set_defaults(fn=cmd_serve)
 
     cl = sub.add_parser(

@@ -641,6 +641,11 @@ def _run_service_bench(
 
     ``requests`` distinct instances (cycling seeds) keep the cold phases
     honest — no in-batch dedup, no accidental cache hits.
+
+    A fourth, nested ``supervised`` section benches the supervised
+    worker-pool serving mode (``serve --workers``), including
+    kill-under-load throughput with deterministic worker SIGKILL
+    injection — see :func:`_run_supervised_bench`.
     """
     from repro.model.generators import uniform_angles
     from repro.service import ServiceClient, start_in_thread
@@ -694,6 +699,90 @@ def _run_service_bench(
         "warm_rps": float(requests / warm_s) if warm_s > 0 else 0.0,
         "max_batch": int(max_batch_seen),
         "shed": shed,
+        "supervised": _run_supervised_bench(
+            instances, algorithm=algorithm, eps=eps
+        ),
+    }
+
+
+def _run_supervised_bench(
+    instances: list,
+    algorithm: str,
+    eps: float,
+    workers: int = 2,
+) -> dict:
+    """Supervised worker-pool throughput, clean and under kill injection.
+
+    Two bursts of the same cache-bypassed pipelined load:
+
+    * ``supervised_rps`` — against a healthy ``workers``-subprocess pool
+      (shard routing over per-worker pipes, no faults);
+    * ``kill_rps`` — against the same pool with a deterministic
+      :class:`~repro.resilience.chaos.ChaosPolicy` SIGKILLing workers at
+      reply time (``kill_rate``); every request must still answer status
+      0, and the supervisor's restart/redispatch/degraded counters are
+      recorded alongside the throughput.  The gap between the two rates
+      is the measured price of crash recovery.
+    """
+    from repro.resilience.chaos import ChaosPolicy
+    from repro.service import ServiceClient, start_in_thread
+
+    requests = len(instances)
+    handle = start_in_thread(
+        port=0, max_batch=32, queue_bound=2 * requests, workers=workers
+    )
+    try:
+        with ServiceClient(port=handle.port, timeout_s=300.0) as client:
+            t0 = time.perf_counter()
+            responses = client.solve_batch(
+                instances, algorithm=algorithm, eps=eps, use_cache=False
+            )
+            supervised_s = time.perf_counter() - t0
+            for response in responses:
+                _require_ok(response, "service_bench supervised")
+    finally:
+        handle.stop()
+
+    chaos = ChaosPolicy(seed=11, kill_rate=0.35)
+    handle = start_in_thread(
+        port=0, max_batch=8, queue_bound=2 * requests, workers=workers,
+        chaos=chaos,
+        supervisor_options={
+            "call_timeout_s": 60.0,
+            "probe_interval_s": 0.05,
+            "restart_backoff_s": 0.02,
+        },
+    )
+    try:
+        with ServiceClient(port=handle.port, timeout_s=300.0) as client:
+            t0 = time.perf_counter()
+            responses = client.solve_batch(
+                instances, algorithm=algorithm, eps=eps, use_cache=False
+            )
+            kill_s = time.perf_counter() - t0
+            for response in responses:
+                _require_ok(response, "service_bench kill-under-load")
+            metrics = client.stats()["metrics"]
+
+            def _count(name: str) -> int:
+                return int(metrics.get(name, {}).get("value", 0))
+
+            restarts = _count("service.supervisor.restarts")
+            redispatches = _count("service.worker.redispatches")
+            degraded = _count("service.worker.degraded")
+    finally:
+        handle.stop()
+    return {
+        "workers": int(workers),
+        "requests": int(requests),
+        "supervised_rps": (
+            float(requests / supervised_s) if supervised_s > 0 else 0.0
+        ),
+        "kill_rate": float(chaos.kill_rate),
+        "kill_rps": float(requests / kill_s) if kill_s > 0 else 0.0,
+        "restarts": restarts,
+        "redispatches": redispatches,
+        "degraded": degraded,
     }
 
 
@@ -767,6 +856,20 @@ _SERVICE_BENCH_FIELDS: Dict[str, type] = {
     "warm_rps": float,
     "max_batch": int,
     "shed": int,
+}
+
+#: Nested optional sub-object of ``service_bench`` (additive, so payloads
+#: from before the supervised serving mode still validate): present only
+#: when the service bench ran the supervised worker-pool phases.
+_SERVICE_SUPERVISED_FIELDS: Dict[str, type] = {
+    "workers": int,
+    "requests": int,
+    "supervised_rps": float,
+    "kill_rate": float,
+    "kill_rps": float,
+    "restarts": int,
+    "redispatches": int,
+    "degraded": int,
 }
 
 #: Optional additive section (schema stays v1): present only when the
@@ -928,6 +1031,22 @@ def validate_bench(payload: dict) -> dict:
             _check(sb[rate] >= 0.0, f"service_bench.{rate} negative")
         _check(sb["max_batch"] >= 1, "service_bench.max_batch must be >= 1")
         _check(sb["shed"] >= 0, "service_bench.shed negative")
+        if "supervised" in sb:
+            sup = sb["supervised"]
+            _check(isinstance(sup, dict),
+                   "service_bench.supervised must be an object")
+            _check_fields(sup, _SERVICE_SUPERVISED_FIELDS,
+                          "service_bench.supervised")
+            _check(sup["workers"] >= 1,
+                   "service_bench.supervised.workers must be >= 1")
+            for rate in ("supervised_rps", "kill_rps"):
+                _check(sup[rate] >= 0.0,
+                       f"service_bench.supervised.{rate} negative")
+            _check(0.0 <= sup["kill_rate"] <= 1.0,
+                   "service_bench.supervised.kill_rate out of [0, 1]")
+            for counter in ("restarts", "redispatches", "degraded"):
+                _check(sup[counter] >= 0,
+                       f"service_bench.supervised.{counter} negative")
     return payload
 
 

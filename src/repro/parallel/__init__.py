@@ -1,5 +1,17 @@
 """Process-level parallelism for sweeps and experiment fan-out."""
 
-from repro.parallel.pool import parallel_map, scatter_gather, worker_count
+from repro.parallel.pool import (
+    PipeWorker,
+    WorkerCrashed,
+    parallel_map,
+    scatter_gather,
+    worker_count,
+)
 
-__all__ = ["parallel_map", "scatter_gather", "worker_count"]
+__all__ = [
+    "PipeWorker",
+    "WorkerCrashed",
+    "parallel_map",
+    "scatter_gather",
+    "worker_count",
+]

@@ -18,10 +18,20 @@ Two injection surfaces:
   pid) it deterministically raises or hard-kills the worker
   (``os._exit``) per item.  The parent process runs the same wrapper
   clean, which is exactly what the pool's serial-retry path needs.
+* **service reply sites** — :meth:`ChaosPolicy.decide_reply` picks one
+  fault (or none) for a service worker about to send a reply frame:
+  ``kill`` (SIGKILL mid-request), ``blackhole`` (never reply, forcing the
+  supervisor's timeout path), ``corrupt`` (flip bytes in the pickled
+  reply frame), or ``delay``.  The decision is again a pure function of
+  ``(seed, site, ordinal)``; supervised workers put their generation
+  number in the site string so a restarted worker rolls a *fresh* stream
+  instead of replaying the kill that just ended its predecessor
+  (:mod:`repro.service.workers`).
 
 Injected events are counted in the ``chaos.injected.*`` metrics
 (delays/errors counted in-process; kills die with their worker and are
-observed parent-side as ``parallel.worker_failures``).
+observed parent-side as ``parallel.worker_failures`` or
+``service.supervisor.restarts``).
 """
 
 from __future__ import annotations
@@ -59,7 +69,10 @@ class ChaosPolicy:
     """Declarative fault rates, all driven by one seed.
 
     Rates are probabilities in ``[0, 1]`` evaluated independently per
-    decision; ``1.0`` means "always".
+    decision; ``1.0`` means "always".  The service-level rates
+    (``kill_rate``, ``blackhole_rate``, ``corrupt_rate``, ``delay_rate``)
+    apply to worker reply sites via :meth:`decide_reply`; the in-process
+    sites use ``error_rate``/``delay_rate`` via :class:`ChaosMonkey`.
     """
 
     seed: int = 0
@@ -67,9 +80,12 @@ class ChaosPolicy:
     delay_rate: float = 0.0
     delay_s: float = 0.0
     kill_rate: float = 0.0
+    blackhole_rate: float = 0.0
+    corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("error_rate", "delay_rate", "kill_rate"):
+        for name in ("error_rate", "delay_rate", "kill_rate",
+                     "blackhole_rate", "corrupt_rate"):
             v = getattr(self, name)
             if not (0.0 <= v <= 1.0):
                 raise ValueError(f"{name} must be in [0, 1], got {v}")
@@ -84,6 +100,58 @@ class ChaosPolicy:
     def wrap(self, fn) -> "_ChaosWrapped":
         """Picklable wrapper injecting worker-side faults around ``fn``."""
         return _ChaosWrapped(fn, self, os.getpid())
+
+    def decide_reply(self, site: str, ordinal: int) -> Optional[str]:
+        """Pick at most one fault for a service worker reply, or ``None``.
+
+        Rolls ``kill``, ``blackhole``, ``corrupt``, ``delay`` in that
+        fixed order from one ``(seed, site, ordinal)``-derived RNG, so the
+        whole reply schedule is reproducible.  The caller is responsible
+        for acting on the verdict (``repro.service.workers`` SIGKILLs
+        itself on ``kill``, skips the send on ``blackhole``, flips frame
+        bytes on ``corrupt``, sleeps ``delay_s`` on ``delay``).
+        """
+        rng = self._roll(site, ordinal)
+        if self.kill_rate and rng.random() < self.kill_rate:
+            return "kill"
+        if self.blackhole_rate and rng.random() < self.blackhole_rate:
+            return "blackhole"
+        if self.corrupt_rate and rng.random() < self.corrupt_rate:
+            return "corrupt"
+        if self.delay_rate and rng.random() < self.delay_rate:
+            return "delay"
+        return None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosPolicy":
+        """Parse a ``key=value,...`` string (the CLI ``--chaos`` flag).
+
+        Keys are the dataclass fields (``seed`` parses as int, everything
+        else as float); unknown keys or malformed pairs raise
+        ``ValueError``.  Example: ``"seed=7,kill_rate=0.2,delay_s=0.01"``.
+        """
+        import dataclasses
+
+        valid = {f.name for f in dataclasses.fields(cls)}
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or not value.strip():
+                raise ValueError(f"chaos spec entry {part!r} is not key=value")
+            if key not in valid:
+                raise ValueError(
+                    f"unknown chaos field {key!r} (valid: {sorted(valid)})"
+                )
+            try:
+                kwargs[key] = (int(value) if key == "seed" else float(value))
+            except ValueError:
+                raise ValueError(f"chaos field {key!r} has non-numeric "
+                                 f"value {value.strip()!r}")
+        return cls(**kwargs)
 
 
 class ChaosMonkey:

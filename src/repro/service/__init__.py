@@ -10,13 +10,17 @@ SIGTERM drain.  The wire protocol, status codes (the CLI exit-code
 contract plus ``5`` = shed), batching semantics and ``service.*`` metric
 names are frozen in ``docs/SERVICE.md``.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.service.protocol` — envelopes, status codes, encode/decode;
 * :mod:`repro.service.batcher` — the bounded queue + coalescing dispatcher;
+* :mod:`repro.service.workers` / :mod:`repro.service.supervisor` — the
+  supervised engine-worker pool (``serve --workers N``): shard routing by
+  content fingerprint, heartbeat probes, backoff restarts, per-worker
+  circuit breakers, redispatch and in-process degraded fallback;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the asyncio
   server (``repro-sectors serve``) and the blocking pipelined client
-  (``repro-sectors client``).
+  (``repro-sectors client``, reconnect-with-backoff built in).
 
 >>> from repro.service import start_in_thread, ServiceClient
 >>> from repro.model import generators
@@ -45,15 +49,20 @@ from repro.service.server import (
     run_service,
     start_in_thread,
 )
+from repro.service.supervisor import CircuitBreaker, WorkerSupervisor
+from repro.service.workers import ShardRing
 
 __all__ = [
+    "CircuitBreaker",
     "MicroBatcher",
     "Overloaded",
     "ProtocolError",
     "ServiceClient",
     "ServiceError",
     "ServiceHandle",
+    "ShardRing",
     "SolverService",
+    "WorkerSupervisor",
     "STATUS_INTERNAL",
     "STATUS_INVALID_INPUT",
     "STATUS_OK",

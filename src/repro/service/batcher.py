@@ -106,15 +106,18 @@ def _dedup_key(request: SolveRequest) -> Optional[Tuple]:
         return None
 
 
-def run_batch(
-    requests: List[SolveRequest], workers: Optional[int] = None
-) -> List[SolveReport]:
-    """Solve one coalesced batch (synchronous; runs on the batch thread).
+def _plan_batch(
+    requests: List[SolveRequest],
+) -> Tuple[List[Optional[SolveReport]], List[int], List[Tuple[int, int]]]:
+    """Shared batch front half: parent-cache probe + in-batch dedup.
 
-    Probe the warm parent cache first, dedup identical cacheable misses,
-    fan the unique misses through :func:`repro.engine.solve_many`, then
-    store the fresh results back into the parent cache.  Order-preserving;
-    every request gets a report (failures as ``error`` reports).
+    Returns ``(reports, unique, alias)``: ``reports`` with cache hits
+    already filled (``None`` elsewhere), ``unique`` the indices that must
+    actually solve, and ``alias`` the ``(duplicate, source)`` index pairs
+    that will copy their source's report.  Both the in-process
+    :func:`run_batch` path and the supervised shard dispatcher
+    (:mod:`repro.service.supervisor`) start from this plan, so dedup
+    semantics cannot drift between the two.
     """
     reports: List[Optional[SolveReport]] = [None] * len(requests)
     miss_keys: dict = {}
@@ -133,6 +136,39 @@ def run_batch(
         if key is not None:
             miss_keys[key] = i
         unique.append(i)
+    return reports, unique, alias
+
+
+def _fill_aliases(
+    reports: List[Optional[SolveReport]],
+    requests: List[SolveRequest],
+    alias: List[Tuple[int, int]],
+) -> List[SolveReport]:
+    """Shared batch back half: copy dedup sources into their duplicates.
+
+    Completes the plan from :func:`_plan_batch` and compacts the report
+    list (every request is expected to have a report by now).
+    """
+    for i, j in alias:
+        source = reports[j]
+        assert source is not None
+        reports[i] = dataclasses.replace(
+            source, label=requests[i].label, cached=True
+        )
+    return [r for r in reports if r is not None]
+
+
+def run_batch(
+    requests: List[SolveRequest], workers: Optional[int] = None
+) -> List[SolveReport]:
+    """Solve one coalesced batch (synchronous; runs on the batch thread).
+
+    Probe the warm parent cache first, dedup identical cacheable misses,
+    fan the unique misses through :func:`repro.engine.solve_many`, then
+    store the fresh results back into the parent cache.  Order-preserving;
+    every request gets a report (failures as ``error`` reports).
+    """
+    reports, unique, alias = _plan_batch(requests)
     if unique:
         from repro.engine import solve_many
         from repro.engine.cache import shared_compiled
@@ -151,13 +187,7 @@ def run_batch(
         for i, report in zip(unique, solved):
             reports[i] = report
             cache_store(requests[i], report)
-    for i, j in alias:
-        source = reports[j]
-        assert source is not None
-        reports[i] = dataclasses.replace(
-            source, label=requests[i].label, cached=True
-        )
-    return [r for r in reports if r is not None]
+    return _fill_aliases(reports, requests, alias)
 
 
 class MicroBatcher:
@@ -175,7 +205,14 @@ class MicroBatcher:
         the queue is full.
     workers:
         Worker-process count forwarded to ``solve_many`` (``None`` =
-        resolve from ``REPRO_WORKERS`` / CPU count).
+        resolve from ``REPRO_WORKERS`` / CPU count).  Ignored when a
+        custom dispatcher is installed via :meth:`set_dispatcher`.
+
+    By default each batch runs through :func:`run_batch` on an executor
+    thread; :meth:`set_dispatcher` swaps in an *async* dispatcher instead
+    (the supervised worker pool installs its shard router here), keeping
+    admission control, deadline shedding, and coalescing identical across
+    serving modes.
     """
 
     def __init__(
@@ -198,6 +235,20 @@ class MicroBatcher:
         )
         self._depth = 0
         self._closed = False
+        self._dispatcher = None
+
+    def set_dispatcher(self, dispatcher) -> None:
+        """Install an async batch dispatcher replacing :func:`run_batch`.
+
+        ``dispatcher`` is an ``async`` callable taking the list of live
+        :class:`~repro.engine.SolveRequest`s (deadlines already rewritten
+        to remaining time) and returning the order-matched
+        :class:`~repro.engine.SolveReport` list.  It must not raise for
+        per-request failures (return error reports instead); a raise is
+        treated as a whole-batch internal error.  Pass ``None`` to restore
+        the default in-process path.
+        """
+        self._dispatcher = dispatcher
 
     # ------------------------------------------------------------------
     # Admission (event-loop side)
@@ -325,9 +376,12 @@ class MicroBatcher:
         _OCCUPANCY.set(len(live))
         loop = asyncio.get_running_loop()
         try:
-            reports = await loop.run_in_executor(
-                None, run_batch, solves, self.workers
-            )
+            if self._dispatcher is not None:
+                reports = await self._dispatcher(solves)
+            else:
+                reports = await loop.run_in_executor(
+                    None, run_batch, solves, self.workers
+                )
         except Exception as exc:  # noqa: BLE001 - keep the service alive
             for pending in live:
                 self._finish(

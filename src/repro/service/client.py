@@ -14,11 +14,20 @@ The client never deserializes solutions eagerly: responses are plain
 dicts (see ``docs/SERVICE.md`` for the fields); pass ``want_solution=True``
 to receive the serialized solution and
 :func:`repro.model.serialization.solution_from_dict` to revive it.
+
+**Reconnect-with-backoff**: a connection reset or EOF mid-call (service
+restart, proxy hiccup) does not surface to the caller — the client
+redials with exponential backoff and *resends the unanswered envelopes
+with their original ids*.  Same-id retries are what make the retry safe:
+the service's dedup/result cache answers a replayed request without
+solving it twice.  Only after ``reconnect_attempts`` consecutive failed
+redials does :class:`ServiceError` reach the caller.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.service import protocol
@@ -28,6 +37,10 @@ __all__ = ["ServiceClient", "ServiceError"]
 
 class ServiceError(RuntimeError):
     """Transport-level failure (closed socket, truncated line)."""
+
+
+class _ConnectionLost(ServiceError):
+    """Internal marker: the transport dropped mid-call (reconnectable)."""
 
 
 def _instance_payload(instance: Any) -> Any:
@@ -53,6 +66,13 @@ class ServiceClient:
     wins when given).  ``timeout_s`` is the per-read socket timeout —
     generous by default because a pipelined burst may sit behind a long
     batch.  Usable as a context manager.
+
+    ``reconnect_attempts``/``reconnect_backoff_s`` tune the transparent
+    redial on mid-call resets (attempt *n* sleeps
+    ``reconnect_backoff_s * 2**n`` first); ``reconnect_attempts=0``
+    disables it, restoring fail-fast :class:`ServiceError` behavior.
+    :attr:`reconnects` counts successful redials, for tests and
+    diagnostics.
     """
 
     def __init__(
@@ -61,25 +81,67 @@ class ServiceClient:
         port: int = 7077,
         unix_path: Optional[str] = None,
         timeout_s: float = 60.0,
+        reconnect_attempts: int = 4,
+        reconnect_backoff_s: float = 0.05,
     ):
-        if unix_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout_s)
-            self._sock.connect(unix_path)
-        else:
-            self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._reader = self._sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._timeout_s = timeout_s
+        self.reconnect_attempts = int(reconnect_attempts)
+        self.reconnect_backoff_s = float(reconnect_backoff_s)
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
         self._next_id = 0
+        self._connect()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(self._timeout_s)
+            self._sock.connect(self._unix_path)
+        else:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout_s
+            )
+        self._reader = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        """Redial with exponential backoff; :class:`ServiceError` on defeat."""
+        self.close()
+        last: Optional[Exception] = None
+        for attempt in range(self.reconnect_attempts):
+            time.sleep(self.reconnect_backoff_s * (2 ** attempt))
+            try:
+                self._connect()
+                self.reconnects += 1
+                return
+            except OSError as exc:
+                last = exc
+        raise ServiceError(
+            f"connection lost and {self.reconnect_attempts} reconnect "
+            f"attempt(s) failed: {last if last is not None else 'disabled'}"
+        )
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
         try:
-            self._reader.close()
+            if self._reader is not None:
+                self._reader.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            self._reader = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -93,24 +155,44 @@ class ServiceClient:
         return f"c{self._next_id}"
 
     def _write(self, envelope: Dict[str, Any]) -> None:
-        self._sock.sendall(protocol.encode_line(envelope))
+        if self._sock is None:
+            raise _ConnectionLost("not connected")
+        try:
+            self._sock.sendall(protocol.encode_line(envelope))
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise _ConnectionLost(f"send failed: {exc}") from exc
 
     def _read_response(self) -> Dict[str, Any]:
-        line = self._reader.readline()
+        try:
+            line = self._reader.readline()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise _ConnectionLost(f"read failed: {exc}") from exc
         if not line:
-            raise ServiceError("connection closed by the service")
+            raise _ConnectionLost("connection closed by the service")
         return protocol.decode_line(line)
 
     def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one raw envelope and block for the matching response."""
+        """Send one raw envelope and block for the matching response.
+
+        A mid-call reset/EOF triggers the reconnect path: the *same*
+        envelope (same ``id``) is resent on the fresh connection, so the
+        service dedup cache shields the retry from double-solving.
+        """
         if "id" not in envelope:
             envelope = {**envelope, "id": self._fresh_id()}
-        self._write(envelope)
         wanted = envelope["id"]
-        while True:
-            response = self._read_response()
-            if response.get("id") == wanted:
-                return response
+        for _ in range(self.reconnect_attempts + 1):
+            try:
+                self._write(envelope)
+                while True:
+                    response = self._read_response()
+                    if response.get("id") == wanted:
+                        return response
+            except _ConnectionLost:
+                self._reconnect()
+        raise ServiceError(
+            f"request {wanted!r} kept losing its connection; giving up"
+        )
 
     # ------------------------------------------------------------------
     # Operations
@@ -178,17 +260,32 @@ class ServiceClient:
         this (or many concurrent connections) to hit batched throughput.
         Shared ``options`` (``algorithm=...``, ``timeout_s=...``,
         ``want_solution=...``) apply to every request.
+
+        Resilient to mid-pipeline drops: after a reconnect only the
+        *unanswered* envelopes are resent, with their original ids, and
+        already-collected responses are kept.
         """
         envelopes = [self._solve_envelope(inst, **dict(options))
                      for inst in instances]
-        for envelope in envelopes:
-            self._write(envelope)
-        pending = {e["id"] for e in envelopes}
+        pending = {e["id"]: e for e in envelopes}
         by_id: Dict[Any, Dict[str, Any]] = {}
-        while pending:
-            response = self._read_response()
-            rid = response.get("id")
-            if rid in pending:
-                pending.discard(rid)
-                by_id[rid] = response
-        return [by_id[e["id"]] for e in envelopes]
+        to_send = list(envelopes)
+        for _ in range(self.reconnect_attempts + 1):
+            try:
+                for envelope in to_send:
+                    self._write(envelope)
+                to_send = []
+                while pending:
+                    response = self._read_response()
+                    rid = response.get("id")
+                    if rid in pending:
+                        del pending[rid]
+                        by_id[rid] = response
+                return [by_id[e["id"]] for e in envelopes]
+            except _ConnectionLost:
+                self._reconnect()
+                to_send = list(pending.values())
+        raise ServiceError(
+            f"pipeline kept losing its connection with {len(pending)} "
+            f"response(s) outstanding; giving up"
+        )

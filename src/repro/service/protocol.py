@@ -217,6 +217,15 @@ def report_to_response(
     return response
 
 
-def error_response(request_id: Any, status: int, message: str) -> Dict[str, Any]:
-    """A failure envelope with no report behind it (shed, malformed...)."""
-    return {"id": request_id, "status": int(status), "error": message}
+def error_response(request_id: Any, status: int, message: str,
+                   **fields: Any) -> Dict[str, Any]:
+    """A failure envelope with no report behind it (shed, malformed...).
+
+    Extra keyword ``fields`` are merged into the envelope so structured
+    context (e.g. the byte ``limit`` on an oversized-line rejection) rides
+    along machine-readably instead of being baked into the message text;
+    the reserved ``id``/``status``/``error`` keys cannot be overridden.
+    """
+    response = dict(fields)
+    response.update({"id": request_id, "status": int(status), "error": message})
+    return response

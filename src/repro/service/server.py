@@ -29,8 +29,10 @@ import time
 from typing import Any, Dict, Optional, Set
 
 from repro.obs.metrics import get_registry
+from repro.resilience.chaos import ChaosPolicy
 from repro.service import protocol
 from repro.service.batcher import MicroBatcher, Overloaded
+from repro.service.supervisor import WorkerSupervisor
 
 __all__ = ["SolverService", "ServiceHandle", "start_in_thread", "run_service"]
 
@@ -50,6 +52,16 @@ class SolverService:
     :attr:`port` after :meth:`start`), ``unix_path`` for an optional
     ``AF_UNIX`` listener, and the batching/backpressure knobs forwarded
     to :class:`~repro.service.batcher.MicroBatcher`.
+
+    ``workers=N`` engages the **supervised worker pool**: N engine
+    subprocesses behind a :class:`~repro.service.supervisor.WorkerSupervisor`
+    (shard routing, crash recovery, circuit breakers — ``docs/SERVICE.md``),
+    installed as the batcher's dispatcher.  ``workers=None`` keeps the
+    classic in-process path (batches run through ``solve_many`` on the
+    batch thread).  ``chaos`` ships a deterministic
+    :class:`~repro.resilience.chaos.ChaosPolicy` to the workers (fault
+    drills; requires ``workers``), and ``supervisor_options`` forwards
+    extra keyword tuning to the supervisor (timeouts, backoff, breaker).
     """
 
     def __init__(
@@ -61,16 +73,30 @@ class SolverService:
         flush_interval_s: float = 0.005,
         queue_bound: int = 256,
         workers: Optional[int] = None,
+        chaos: Optional[ChaosPolicy] = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        supervisor_options: Optional[Dict[str, Any]] = None,
     ):
+        if chaos is not None and workers is None:
+            raise ValueError("chaos injection requires a supervised worker "
+                             "pool (pass workers=N)")
         self.host = host
         self.port = int(port)
         self.unix_path = unix_path
+        self.workers = None if workers is None else int(workers)
+        self.max_line_bytes = int(max_line_bytes)
         self._batcher = MicroBatcher(
             max_batch=max_batch,
             flush_interval_s=flush_interval_s,
             queue_bound=queue_bound,
-            workers=workers,
+            workers=None if workers is not None else workers,
         )
+        self._supervisor: Optional[WorkerSupervisor] = None
+        if workers is not None:
+            self._supervisor = WorkerSupervisor(
+                workers=int(workers), chaos=chaos,
+                **(supervisor_options or {}),
+            )
         self._batcher_task: Optional[asyncio.Task] = None
         self._servers: list = []
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -84,12 +110,18 @@ class SolverService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listeners and start the dispatcher task."""
+        """Bind the listeners and start the dispatcher (and worker pool)."""
         self._stopped = asyncio.Event()
         self._started_at = time.monotonic()
+        if self._supervisor is not None:
+            # Workers come up before the listeners so the first admitted
+            # request already has a routable shard owner.
+            await self._supervisor.start()
+            self._batcher.set_dispatcher(self._supervisor.solve_batch)
         self._batcher_task = asyncio.create_task(self._batcher.run())
         server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+            self._handle_connection, self.host, self.port,
+            limit=self.max_line_bytes,
         )
         self._servers.append(server)
         self.port = server.sockets[0].getsockname()[1]
@@ -97,7 +129,7 @@ class SolverService:
             self._servers.append(
                 await asyncio.start_unix_server(
                     self._handle_connection, path=self.unix_path,
-                    limit=MAX_LINE_BYTES,
+                    limit=self.max_line_bytes,
                 )
             )
 
@@ -120,7 +152,8 @@ class SolverService:
         Idempotent.  Order matters: close the listeners first (no new
         connections), flag draining (in-flight connections shed new solve
         envelopes with status 5), let the batcher finish everything it
-        admitted, wait for the response writers, then release
+        admitted, stop the supervised workers (they are only needed while
+        batches flow), wait for the response writers, then release
         :meth:`serve_forever`.
         """
         if self._draining:
@@ -133,6 +166,8 @@ class SolverService:
             await self._batcher_task
         if self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        if self._supervisor is not None:
+            await self._supervisor.stop()
         # Wake connections blocked in readline() with EOF so their handler
         # tasks exit before loop teardown (a cancelled reader would log a
         # traceback, and the error-hygiene contract forbids those).
@@ -167,11 +202,15 @@ class SolverService:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
+                    # Structured rejection, never a silent drop: the stream
+                    # is desynchronized past an oversized line, so answer
+                    # with the limit spelled out and close the connection.
                     await self._send(
                         writer, write_lock,
                         protocol.error_response(
                             None, protocol.STATUS_INVALID_INPUT,
-                            f"line exceeds {MAX_LINE_BYTES} bytes",
+                            f"line exceeds {self.max_line_bytes} bytes",
+                            limit=self.max_line_bytes,
                         ),
                     )
                     break
@@ -268,8 +307,13 @@ class SolverService:
         )
 
     def _stats_response(self, request_id: Any) -> Dict[str, Any]:
-        """The ``stats`` envelope: service state + a full metric snapshot."""
-        return {
+        """The ``stats`` envelope: service state + a full metric snapshot.
+
+        Answered inline off the event loop — deliberately independent of
+        the worker pool, so operators can still see supervisor state (and
+        the clients can still ``ping``) while every worker is down.
+        """
+        response = {
             "id": request_id,
             "status": protocol.STATUS_OK,
             "op": "stats",
@@ -280,6 +324,9 @@ class SolverService:
             "draining": self._draining,
             "metrics": get_registry().snapshot(),
         }
+        if self._supervisor is not None:
+            response["workers"] = self._supervisor.describe()
+        return response
 
     @staticmethod
     async def _send(
@@ -365,17 +412,19 @@ def run_service(
     flush_interval_s: float = 0.005,
     queue_bound: int = 256,
     workers: Optional[int] = None,
+    chaos: Optional[ChaosPolicy] = None,
 ) -> int:
     """Run a service in the foreground until SIGTERM/SIGINT drains it.
 
     The ``repro-sectors serve`` entry point: prints one readiness line
     (``serving on <host>:<port> ...``) once bound, then blocks.  Returns
-    0 after a clean drain.
+    0 after a clean drain (including the supervised workers, when
+    ``workers``/``chaos`` are given).
     """
     service = SolverService(
         host=host, port=port, unix_path=unix_path, max_batch=max_batch,
         flush_interval_s=flush_interval_s, queue_bound=queue_bound,
-        workers=workers,
+        workers=workers, chaos=chaos,
     )
 
     async def _main() -> None:
@@ -384,10 +433,15 @@ def run_service(
         endpoints = f"{service.host}:{service.port}"
         if service.unix_path:
             endpoints += f" and unix:{service.unix_path}"
+        extra = ""
+        if service.workers is not None:
+            extra = f", workers={service.workers} supervised"
+            if chaos is not None:
+                extra += ", chaos on"
         print(
             f"serving on {endpoints} "
             f"(max_batch={service._batcher.max_batch}, "
-            f"queue_bound={service._batcher.queue_bound})",
+            f"queue_bound={service._batcher.queue_bound}{extra})",
             flush=True,
         )
         await service.serve_forever()

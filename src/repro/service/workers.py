@@ -1,0 +1,269 @@
+"""Engine worker subprocesses and content-fingerprint shard routing.
+
+The supervised serving tier (``docs/SERVICE.md``) runs N long-lived engine
+workers, each a :class:`repro.parallel.PipeWorker` subprocess executing
+:func:`worker_main`.  Two design points live here:
+
+**Shard affinity.**  Each worker owns a shard of instance space under
+consistent hashing (:class:`ShardRing`): the routing key is the instance's
+content fingerprint (:func:`repro.engine.cache.fingerprint`), so repeat
+solves of the same instance land on the same worker and its per-process
+``COMPILE_CACHE`` / result LRU stay hot.  Virtual nodes smooth the load
+split; when a worker is down (crashed, breaker open) its keys spill to the
+next live owner clockwise on the ring and *return* to it on recovery — no
+global reshuffle either way.
+
+**Deterministic misbehavior.**  When the service runs with a
+:class:`~repro.resilience.chaos.ChaosPolicy`, the worker consults
+:meth:`~repro.resilience.chaos.ChaosPolicy.decide_reply` before every
+solve reply and acts the verdict out at the wire level: ``kill`` SIGKILLs
+its own pid mid-request, ``blackhole`` skips the send (the parent times
+out), ``corrupt`` flips bytes in the pickled reply frame, ``delay`` sleeps
+before sending.  The fault site string embeds the worker's *generation*
+(restart count), so a restarted worker rolls a fresh decision stream
+instead of deterministically replaying the kill that ended its
+predecessor.
+
+Workers are spawned through a **forkserver** multiprocessing context
+(:func:`service_mp_context`): unlike plain ``fork`` the children never
+inherit the asyncio front end's threads, locks, or listening sockets, and
+unlike ``spawn`` the heavy imports are paid once in the fork server
+(preloaded) rather than per worker restart — which matters when the chaos
+harness is deliberately killing workers in a loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.resilience.chaos import ChaosPolicy
+
+__all__ = [
+    "ShardRing",
+    "describe_ring",
+    "service_mp_context",
+    "shard_key",
+    "worker_main",
+]
+
+_mp_context = None
+
+
+def service_mp_context():
+    """The multiprocessing context service workers are spawned through.
+
+    Prefers *forkserver* (clean children without the parent's threads or
+    sockets, cheap restarts once the server has preloaded the engine),
+    falling back to *spawn* where forkserver is unavailable.  The context
+    is created once and cached — ``set_forkserver_preload`` only takes
+    effect before the fork server starts.
+    """
+    global _mp_context
+    if _mp_context is not None:
+        return _mp_context
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+        ctx.set_forkserver_preload(["repro.service.workers", "repro.engine"])
+    except ValueError:  # pragma: no cover - non-Linux fallback
+        ctx = multiprocessing.get_context("spawn")
+    _mp_context = ctx
+    return ctx
+
+
+def _hash_point(token: str) -> int:
+    """Stable 64-bit ring position for a token (SHA-256 prefix)."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def shard_key(instance) -> str:
+    """The routing key for an instance: content fingerprint when possible.
+
+    Falls back to hashing ``repr(instance)`` for payloads the fingerprint
+    helper cannot canonicalize (e.g. knapsack triples) — still
+    deterministic across processes, just not normalization-invariant.
+    """
+    from repro.engine.cache import fingerprint
+
+    try:
+        return fingerprint(instance)
+    except Exception:  # noqa: BLE001 - any unfingerprintable payload
+        digest = hashlib.sha256(
+            repr(instance).encode("utf-8", "replace")
+        ).hexdigest()
+        return f"repr:{digest}"
+
+
+class ShardRing:
+    """Consistent-hash ring mapping shard keys to worker ids.
+
+    Each worker id is placed at ``replicas`` pseudo-random points (virtual
+    nodes) on a 64-bit ring; a key is owned by the first worker point at
+    or clockwise after the key's own point.  :meth:`owners` returns the
+    full preference order (distinct workers walking clockwise), which is
+    exactly the redispatch order the supervisor uses when the primary
+    owner is down: the sibling that inherits a dead worker's keys is the
+    same one that would inherit them under a permanent removal, so spilled
+    keys warm a cache that stays useful.
+    """
+
+    def __init__(self, worker_ids: Sequence[int], replicas: int = 64):
+        if not worker_ids:
+            raise ValueError("ShardRing needs at least one worker id")
+        self._ids = sorted(set(int(w) for w in worker_ids))
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        placed = sorted(
+            (_hash_point(f"worker-{wid}:vnode-{r}"), wid)
+            for wid in self._ids
+            for r in range(replicas)
+        )
+        for point, wid in placed:
+            self._points.append(point)
+            self._owners.append(wid)
+
+    @property
+    def worker_ids(self) -> List[int]:
+        """All worker ids on the ring, ascending."""
+        return list(self._ids)
+
+    def owners(self, key: str,
+               available: Optional[Sequence[int]] = None) -> List[int]:
+        """Preference-ordered distinct owners for ``key``.
+
+        With ``available`` given, workers outside it are skipped — the
+        first element is then the live shard owner and the rest are the
+        redispatch siblings in spill order.  Returns ``[]`` when nothing
+        is available.
+        """
+        allowed = set(self._ids if available is None else available)
+        if not allowed:
+            return []
+        start = bisect.bisect_left(self._points, _hash_point(key))
+        ordered: List[int] = []
+        seen: set = set()
+        n = len(self._points)
+        for step in range(n):
+            wid = self._owners[(start + step) % n]
+            if wid in seen or wid not in allowed:
+                continue
+            seen.add(wid)
+            ordered.append(wid)
+            if len(seen) == len(allowed):
+                break
+        return ordered
+
+    def owner(self, key: str,
+              available: Optional[Sequence[int]] = None) -> Optional[int]:
+        """The single live owner for ``key`` (``None`` if nothing is up)."""
+        ordered = self.owners(key, available)
+        return ordered[0] if ordered else None
+
+
+def _corrupt_frame(frame: bytes) -> bytes:
+    """Flip bytes mid-frame so the parent's unpickle deterministically fails."""
+    mid = len(frame) // 2
+    return frame[:mid] + bytes(b ^ 0xFF for b in frame[mid:mid + 8]) + frame[mid + 8:]
+
+
+def worker_main(conn, worker_id: int, generation: int,
+                chaos: Optional[ChaosPolicy] = None) -> None:
+    """The engine worker protocol loop (runs in the child process).
+
+    Speaks the :class:`repro.parallel.PipeWorker` frame protocol over
+    ``conn``: ``(seq, op, payload)`` in, ``(seq, status, result)`` out.
+
+    Ops:
+
+    * ``solve`` — payload is a list of :class:`~repro.engine.SolveRequest`;
+      replies with the matching :class:`~repro.engine.SolveReport` list.
+      Requests solve serially in-process (per-request failures become
+      error reports, mirroring ``solve_many``), keeping this worker's
+      compile/result caches hot for its shard.  Chaos, when configured,
+      strikes *after* solving, at the reply — the interesting failures for
+      a supervisor are the ones that lose completed work.
+    * ``ping`` — health probe; replies with pid, generation and cache
+      occupancy (the supervisor's heartbeat and breaker half-open probe).
+    * ``stop`` — acknowledge and exit 0 (clean drain).
+
+    Unparseable request frames are ignored rather than fatal: the parent
+    side already maps a missing reply to :class:`~repro.parallel.WorkerCrashed`
+    via its timeout, and a worker that survives garbage stays useful.
+    """
+    from repro.engine.cache import COMPILE_CACHE, RESULT_CACHE
+    from repro.engine.core import _solve_worker
+
+    site = f"service.worker.{worker_id}.gen{generation}"
+    ordinal = 0
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            seq, op, payload = pickle.loads(raw)
+        except Exception:  # noqa: BLE001 - garbage in, no reply out
+            continue
+        if op == "stop":
+            try:
+                conn.send_bytes(pickle.dumps((seq, "ok", "stopping")))
+            except (OSError, ValueError):
+                pass
+            return
+        if op == "ping":
+            result = {
+                "pong": True,
+                "pid": os.getpid(),
+                "generation": generation,
+                "result_cache": len(RESULT_CACHE),
+                "compile_cache": len(COMPILE_CACHE),
+            }
+            try:
+                conn.send_bytes(pickle.dumps((seq, "ok", result)))
+            except (OSError, ValueError):
+                return
+            continue
+        if op != "solve":
+            try:
+                conn.send_bytes(pickle.dumps((seq, "error", f"unknown op {op!r}")))
+            except (OSError, ValueError):
+                return
+            continue
+        reports = [_solve_worker(request) for request in payload]
+        action = None
+        if chaos is not None:
+            action = chaos.decide_reply(site, ordinal)
+            ordinal += 1
+        if action == "kill":
+            # The SIGKILL fault site: in-flight work is lost exactly as a
+            # segfault/OOM-kill would lose it; the supervisor must recover.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if action == "blackhole":
+            continue  # never reply; the parent's poll() deadline fires
+        if action == "delay":
+            time.sleep(chaos.delay_s)
+        frame = pickle.dumps((seq, "ok", reports))
+        if action == "corrupt":
+            frame = _corrupt_frame(frame)
+        try:
+            conn.send_bytes(frame)
+        except (OSError, ValueError):
+            return
+
+
+def describe_ring(ring: ShardRing, keys: Sequence[str]) -> Dict[int, int]:
+    """Count how many of ``keys`` each worker owns (load-split debugging)."""
+    counts: Dict[int, int] = {wid: 0 for wid in ring.worker_ids}
+    for key in keys:
+        owner = ring.owner(key)
+        if owner is not None:
+            counts[owner] += 1
+    return counts

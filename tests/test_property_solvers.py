@@ -12,7 +12,7 @@ suite and checks relations that must hold regardless of the data:
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.geometry.angles import TWO_PI
 from repro.knapsack import get_solver
@@ -134,7 +134,15 @@ class TestUniversalInvariants:
         assert sh.violations(inst, require_disjoint=True) == []
         # The theorem-level comparison (T6) is about the pre-fill values:
         # the boundary fill pass is a monotone extra on both solvers and
-        # can flip the ordering by the filled amount.
+        # can flip the ordering by the filled amount.  It also only holds
+        # away from the DP's documented measure-zero loss (packing/multi.py):
+        # a customer exactly rho past a candidate start falls outside the
+        # DP's half-open profit windows but inside the shifting scheme's
+        # closed canonical windows, so the raw ordering can flip there.
+        rho = inst.antennas[0].rho
+        cands = np.asarray(inst.compile().candidates(), dtype=np.float64)
+        offsets = (inst.thetas[None, :] - cands[:, None]) % TWO_PI
+        assume(not np.isclose(offsets, rho, atol=1e-9).any())
         sh_raw = solve_shifting(inst, EXACT, t=6, boundary_fill=False)
         dp_raw = solve_non_overlapping_dp(
             inst, EXACT, boundary_fill=False

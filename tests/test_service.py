@@ -16,6 +16,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -23,6 +24,7 @@ import pytest
 
 from repro.engine import SolveRequest, clear_caches
 from repro.model import generators
+from repro.obs.metrics import get_registry
 from repro.service import (
     STATUS_INVALID_INPUT,
     STATUS_OK,
@@ -223,6 +225,25 @@ class TestServiceEndToEnd:
         finally:
             handle.stop()
 
+    def test_oversized_line_is_structured_error(self):
+        """A line past ``max_line_bytes`` answers status 3, not silence."""
+        handle = start_in_thread(port=0, max_line_bytes=1024)
+        try:
+            with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b'{"op": "ping", "id": 1}\n')
+                assert json.loads(reader.readline())["status"] == STATUS_OK
+                sock.sendall(b'{"pad": "' + b"x" * 4096 + b'"}\n')
+                response = json.loads(reader.readline())
+                assert response["status"] == STATUS_INVALID_INPUT
+                assert "exceeds" in response["error"]
+                assert response["limit"] == 1024
+                # The stream cannot be resynchronized after an overlong
+                # line, so the server must close the connection.
+                assert reader.readline() == b""
+        finally:
+            handle.stop()
+
     def test_deadline_expired_answers_status_4(self):
         clear_caches()
         handle = start_in_thread(port=0, flush_interval_s=0.05)
@@ -284,7 +305,133 @@ class TestServiceEndToEnd:
 
 
 # ----------------------------------------------------------------------
-# The CLI pair: serve drains on SIGTERM, client relays wire statuses
+# Client reconnect-with-backoff
+# ----------------------------------------------------------------------
+class _CutOnceProxy:
+    """TCP proxy that severs the first client connection after relaying
+    exactly one response line, then forwards later connections untouched.
+
+    Models a mid-pipeline connection loss: the client has sent several
+    requests, received one answer, and the socket dies under it.
+    """
+
+    def __init__(self, backend_port):
+        self._backend_port = backend_port
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._cut_spent = threading.Event()
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def close(self):
+        self._listener.close()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            cut = not self._cut_spent.is_set()
+            self._cut_spent.set()
+            threading.Thread(
+                target=self._serve, args=(client, cut), daemon=True
+            ).start()
+
+    def _serve(self, client, cut_after_one_line):
+        backend = socket.create_connection(("127.0.0.1", self._backend_port))
+
+        def upstream():
+            try:
+                while True:
+                    data = client.recv(65536)
+                    if not data:
+                        break
+                    backend.sendall(data)
+            except OSError:
+                pass
+            finally:
+                try:
+                    backend.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+
+        threading.Thread(target=upstream, daemon=True).start()
+        buffered = b""
+        try:
+            while True:
+                data = backend.recv(65536)
+                if not data:
+                    break
+                if not cut_after_one_line:
+                    client.sendall(data)
+                    continue
+                buffered += data
+                newline = buffered.find(b"\n")
+                if newline >= 0:
+                    client.sendall(buffered[: newline + 1])
+                    break  # drop the rest and hang up mid-pipeline
+        except OSError:
+            pass
+        finally:
+            for sock in (client, backend):
+                # shutdown() before close(): the upstream thread may still
+                # be blocked in recv() on this socket, which pins the kernel
+                # file description — a bare close() would never send FIN and
+                # the peer would hang instead of seeing the cut.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+class TestClientReconnect:
+    def test_mid_pipeline_cut_resends_without_resolving(self):
+        """The client redials and resends the *same* envelopes; the server's
+        result cache answers the resends, so nothing is solved twice."""
+        clear_caches()
+        handle = start_in_thread(port=0, max_batch=8, flush_interval_s=0.005)
+        proxy = _CutOnceProxy(handle.port)
+        try:
+            before = get_registry().snapshot()
+            with ServiceClient(port=proxy.port, timeout_s=60.0) as client:
+                responses = client.solve_batch(
+                    _instances(4), algorithm="greedy"
+                )
+                assert client.reconnects >= 1
+            assert [r["status"] for r in responses] == [STATUS_OK] * 4
+            # One answer arrived before the cut; the other three were
+            # resent under their original ids and served from cache.
+            assert sum(1 for r in responses if r.get("cached")) == 3
+            after = get_registry().snapshot()
+            served = (after["service.cache_served"]["value"]
+                      - before.get("service.cache_served", {}).get("value", 0))
+            assert served == 3
+        finally:
+            proxy.close()
+            handle.stop()
+
+    def test_reconnect_attempts_exhausted_raises(self):
+        from repro.service import ServiceError
+
+        handle = start_in_thread(port=0)
+        client = ServiceClient(port=handle.port, reconnect_backoff_s=0.001)
+        try:
+            assert client.ping()["status"] == STATUS_OK
+            handle.stop()  # nothing is listening on this port any more
+            with pytest.raises(ServiceError, match="reconnect"):
+                client.ping()
+        finally:
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# The CLI pair: serve drains on SIGTERM/SIGINT, client relays statuses
 # ----------------------------------------------------------------------
 class TestServeProcess:
     def _env(self):
@@ -292,7 +439,7 @@ class TestServeProcess:
         env["PYTHONPATH"] = str(REPO / "src")
         return env
 
-    def test_sigterm_drains_cleanly(self, tmp_path):
+    def _drain_on_signal(self, tmp_path, sig):
         sock_path = tmp_path / "repro.sock"
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", "--port", "0",
@@ -312,7 +459,7 @@ class TestServeProcess:
                     _instances(1)[0], algorithm="greedy"
                 )
                 assert response["status"] == STATUS_OK
-            proc.send_signal(signal.SIGTERM)
+            proc.send_signal(sig)
             out, err = proc.communicate(timeout=30)
         finally:
             if proc.poll() is None:
@@ -321,6 +468,13 @@ class TestServeProcess:
         assert proc.returncode == 0, err
         assert "serving on" in out
         assert "drained cleanly" in out
+
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        self._drain_on_signal(tmp_path, signal.SIGTERM)
+
+    def test_sigint_drains_cleanly(self, tmp_path):
+        """Ctrl-C parity: SIGINT takes the same drain path as SIGTERM."""
+        self._drain_on_signal(tmp_path, signal.SIGINT)
 
     def test_version_flag(self):
         out = subprocess.run(
