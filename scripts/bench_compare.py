@@ -17,7 +17,9 @@ without breaking comparisons against older baselines:
   when the payload carries the supervised worker-pool phases;
 * ``compile_bench`` — cold/shared compile-amortized solve rates and speedup;
 * ``backend_bench`` — python-vs-numpy backend speedups and per-backend
-  solve rates (``docs/BACKENDS.md``).
+  solve rates (``docs/BACKENDS.md``);
+* ``scale_bench`` — per-size monolithic and partitioned solve rates plus
+  the partition speedup at each ``n`` (``docs/SCALE.md``).
 
 Exit status: ``0`` when no shared metric regressed by more than
 ``--threshold`` (default 20%), ``1`` when at least one did, ``2`` on
@@ -93,6 +95,18 @@ def _section_throughputs(payload: dict) -> Dict[str, float]:
             if bb.get(field, 0.0) > 0:
                 name = field.replace("_s", "_solves_per_s")
                 out[f"backend_bench.{name}"] = 1.0 / bb[field]
+    sc = payload.get("scale_bench")
+    if sc:
+        for row in sc.get("rows", ()):
+            n = row.get("n")
+            if not n:
+                continue
+            for field in ("mono_s", "part_s"):
+                if row.get(field, 0.0) > 0:
+                    name = field.replace("_s", "_solves_per_s")
+                    out[f"scale_bench.n{n}.{name}"] = 1.0 / row[field]
+            if "speedup" in row:
+                out[f"scale_bench.n{n}.speedup"] = row["speedup"]
     return out
 
 

@@ -16,6 +16,12 @@ export PYTHONPATH=src
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== slow marker (one scale case) =="
+# Tier-1 deselects `slow` (pyproject addopts); the smoke runs exactly one
+# marked scale case so the n >= 1e5 partition path stays exercised in CI.
+python -m pytest -x -q -m slow -o addopts="" \
+    tests/test_partition.py::TestScale::test_partitioned_matches_monolithic_at_scale
+
 echo "== docs lint =="
 # 100% public docstring coverage; every metric name, CLI flag and relative
 # link mentioned in docs/ + README must exist (docs/INDEX.md conventions).
@@ -63,22 +69,41 @@ python -m repro bench --families uniform --n 50 --seeds 0 \
     --output "$backend_out"
 python -m repro bench --check "$backend_out"
 
+echo "== scale bench round-trip =="
+# Small-n partition-strategy smoke: exercises the monolithic-vs-partitioned
+# section (merge-bound soundness is asserted inside the harness; a
+# violation aborts the bench) and validates the payload with the section
+# present.  Sizes stay tiny here — the full curves live in BENCH_pr8.json.
+scale_out="$tmp/BENCH_scale_smoke.json"
+python - "$scale_out" <<'PY'
+import sys
+
+from repro.obs.bench import run_bench, write_bench
+
+payload = run_bench(
+    families=("uniform",), n=50, seeds=(0,), solvers=("greedy",),
+    tag="scale-smoke", scale_bench=True, scale_sizes=(2_000, 5_000),
+)
+write_bench(payload, sys.argv[1])
+PY
+python -m repro bench --check "$scale_out"
+
 echo "== bench comparison (advisory) =="
 # Throughput diff between the two most recent committed payloads.  Wall
 # times from different machines/sessions are noisy, so a regression here
 # warns without failing the smoke (see scripts/bench_compare.py).
-if [ -f BENCH_pr6.json ] && [ -f BENCH_pr7.json ]; then
-    python scripts/bench_compare.py BENCH_pr6.json BENCH_pr7.json ||
+if [ -f BENCH_pr7.json ] && [ -f BENCH_pr8.json ]; then
+    python scripts/bench_compare.py BENCH_pr7.json BENCH_pr8.json ||
         echo "bench_compare: advisory throughput regression (not fatal)"
 fi
 
-echo "== bench comparison (enforced: backend_bench, service_bench) =="
-# Two sections the smoke *enforces*: the committed payload must carry
-# them, and once a baseline payload has them too, >20% regressions in
-# their metrics fail the smoke (no advisory fallback here — see
+echo "== bench comparison (enforced: backend_bench, service_bench, scale_bench) =="
+# Sections the smoke *enforces*: the committed payload must carry them,
+# and once a baseline payload has them too, >20% regressions in their
+# metrics fail the smoke (no advisory fallback here — see
 # scripts/bench_compare.py --enforce).  backend_bench stays pinned to
-# the pr5->pr6 pair that introduced it; service_bench (including the
-# supervised kill-under-load rates) is enforced on the newest pair.
+# the pr5->pr6 pair that introduced it; service_bench to pr6->pr7;
+# scale_bench is enforced from pr8 on (guarded until BENCH_pr9 exists).
 if [ -f BENCH_pr6.json ]; then
     python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json \
         --enforce backend_bench
@@ -86,6 +111,10 @@ fi
 if [ -f BENCH_pr7.json ]; then
     python scripts/bench_compare.py BENCH_pr6.json BENCH_pr7.json \
         --enforce service_bench
+fi
+if [ -f BENCH_pr9.json ]; then
+    python scripts/bench_compare.py BENCH_pr8.json BENCH_pr9.json \
+        --enforce scale_bench
 fi
 
 echo "== resilience smoke =="

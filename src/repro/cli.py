@@ -162,6 +162,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
                     eps=args.eps,
                     timeout_s=timeout,
                     backend=getattr(args, "backend", "auto"),
+                    partition=getattr(args, "partition", "auto"),
                 )
             )
             sol = report.solution
@@ -342,6 +343,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             service_bench=args.service_bench,
             compile_bench=args.compile_bench,
             backend_bench=args.backend_bench,
+            scale_bench=args.scale_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -529,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "loops of capable solvers (value-identical, see "
                         "docs/BACKENDS.md), 'auto' picks it on large "
                         "instances, 'python' forces the scalar oracle path")
+    s.add_argument("--partition", default="auto",
+                   choices=("auto", "never", "force"),
+                   help="solve strategy: 'force' decomposes partitionable "
+                        "sector solves into reach components with a "
+                        "certified merge bound (docs/SCALE.md), 'auto' "
+                        "partitions large multi-station instances, 'never' "
+                        "forces the monolithic path")
     s.set_defaults(fn=cmd_solve)
 
     c = sub.add_parser("compare", help="run the solver suite on an instance")
@@ -578,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--compile-bench", action="store_true",
                    help="add the compiled-instance benchmark section "
                         "(per-call compilation vs one shared compiled view)")
+    b.add_argument("--scale-bench", action="store_true",
+                   help="add the scale section: monolithic-vs-partitioned "
+                        "throughput curves on metro instances up to n=10^6, "
+                        "merge-bound soundness asserted in-harness "
+                        "(docs/SCALE.md)")
     b.add_argument("--backend-bench", action="store_true",
                    help="add the backend-comparison section: large-n sweep "
                         "and sector workloads on the python vs numpy "

@@ -12,8 +12,14 @@ Public surface (contract: ``docs/ENGINE.md``):
 * :func:`cache_probe` / :func:`cache_store` — parent-process warm-cache
   helpers for batching front ends (:mod:`repro.service`);
 * :func:`~repro.engine.planner.plan` — ``algorithm="auto"`` resolution —
-  and :func:`~repro.engine.planner.plan_backend` — ``backend="auto"``
-  resolution against each spec's declared kernels (``docs/BACKENDS.md``);
+  :func:`~repro.engine.planner.plan_backend` — ``backend="auto"``
+  resolution against each spec's declared kernels (``docs/BACKENDS.md``) —
+  and :func:`~repro.engine.planner.plan_partition` — ``partition="auto"``
+  strategy resolution against each spec's ``partitionable`` capability
+  (``docs/SCALE.md``);
+* :mod:`repro.engine.partition` — reach-component decomposition with
+  certified merge bounds (:func:`partition_instance`,
+  :func:`solve_partitioned`, :func:`merge_partial_solutions`);
 * :mod:`repro.engine.cache` — instance-fingerprint result + precompute
   caches (:func:`clear_caches`, ``engine.cache.*`` metrics);
 * :func:`check_registry` / :func:`smoke_check` — CI completeness gates.
@@ -28,7 +34,15 @@ from repro.engine.core import (
     solve,
     solve_many,
 )
-from repro.engine.planner import plan, plan_backend
+from repro.engine.partition import (
+    Part,
+    PartitionPlan,
+    merge_partial_solutions,
+    partition_instance,
+    reach_components,
+    solve_partitioned,
+)
+from repro.engine.planner import plan, plan_backend, plan_partition
 from repro.engine.registry import (
     FAMILIES,
     SolveContext,
@@ -43,6 +57,8 @@ from repro.engine.registry import (
 
 __all__ = [
     "FAMILIES",
+    "Part",
+    "PartitionPlan",
     "SolveContext",
     "SolveRequest",
     "SolveReport",
@@ -53,12 +69,17 @@ __all__ = [
     "clear_caches",
     "fingerprint",
     "get_spec",
+    "merge_partial_solutions",
+    "partition_instance",
     "plan",
     "plan_backend",
+    "plan_partition",
+    "reach_components",
     "register",
     "smoke_check",
     "solve",
     "solve_many",
+    "solve_partitioned",
     "solver_names",
     "specs",
 ]

@@ -18,6 +18,14 @@ oracle construction from eps, cooperative ``Budget`` activation from
 ``docs/OBSERVABILITY.md``).  :func:`solve_many` fans requests over
 :func:`repro.parallel.pool.parallel_map` with per-request budgets and
 partial-result semantics.
+
+Execution is dispatched through one *strategy seam* (``_STRATEGIES``):
+``monolithic`` runs the resolved spec directly, ``partitioned``
+decomposes large multi-station sector instances by station reach and
+merges with a certified bound (:mod:`repro.engine.partition`,
+``docs/SCALE.md``), and the worker-sharded strategy of the service tier
+(:mod:`repro.service`) composes on top by routing whole requests to
+supervised workers that re-enter this seam.
 """
 
 from __future__ import annotations
@@ -27,8 +35,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine import cache as _cache
-from repro.engine.planner import plan, plan_backend
+from repro.engine.planner import plan, plan_backend, plan_partition
 from repro.engine.registry import SolveContext, SolverSpec, get_spec
+from repro.model.introspect import infer_family, instance_size
 from repro.obs.metrics import get_registry
 
 __all__ = [
@@ -50,6 +59,12 @@ _SOLVE_TIMER = _REG.timer("engine.solve")
 _BACKEND_PYTHON = _REG.counter("engine.backend.python")
 _BACKEND_NUMPY = _REG.counter("engine.backend.numpy")
 _BACKEND_FALLBACK = _REG.counter("engine.backend.fallback")
+# Which execution strategy served each solve; an explicit
+# partition="force" on a non-partitionable spec counts under both
+# monolithic and fallback.  Contract: docs/OBSERVABILITY.md, docs/SCALE.md.
+_PARTITION_MONOLITHIC = _REG.counter("engine.partition.monolithic")
+_PARTITION_PARTITIONED = _REG.counter("engine.partition.partitioned")
+_PARTITION_FALLBACK = _REG.counter("engine.partition.fallback")
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,13 @@ class SolveRequest:
     and the instance is large; see
     :func:`repro.engine.planner.plan_backend` and ``docs/BACKENDS.md``).
     Both backends are value-identical, so the result cache key ignores it.
+    ``partition`` picks the execution strategy — ``"auto"``, ``"never"``,
+    or ``"force"`` (decompose large multi-station sector instances by
+    station reach and merge with a certified bound; see
+    :func:`repro.engine.planner.plan_partition` and ``docs/SCALE.md``).
+    Partitioned values may differ from monolithic ones (both feasible,
+    related by the certified merge bound), so partitioned solves bypass
+    the result cache entirely.
     """
 
     instance: Any
@@ -77,6 +99,7 @@ class SolveRequest:
     guarantee: Optional[float] = None
     variant: str = "overlap"
     backend: str = "auto"
+    partition: str = "auto"
     use_cache: bool = True
     label: str = ""
 
@@ -107,42 +130,29 @@ class SolveReport:
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
-def _infer_family(instance: Any) -> str:
-    from repro.model.instance import AngleInstance, SectorInstance
-
-    if isinstance(instance, AngleInstance):
-        return "angle"
-    if isinstance(instance, SectorInstance):
-        return "sector"
-    if isinstance(instance, (tuple, list)) and len(instance) == 3:
-        return "knapsack"
-    raise ValueError(
-        f"cannot infer solver family from {type(instance).__name__}; "
-        f"set SolveRequest.family explicitly"
-    )
-
-
-def _instance_size(instance: Any) -> int:
-    """Customer/item count driving the backend auto threshold."""
-    n = getattr(instance, "n", None)
-    if n is not None:
-        return int(n)
-    if isinstance(instance, (tuple, list)) and len(instance) == 3:
-        import numpy as np
-
-        return int(np.size(instance[0]))
-    return 0
-
-
 def _resolve_backend(request: SolveRequest, spec: SolverSpec) -> str:
     """Resolve the request's backend and count which path serves the solve."""
     backend, fell_back = plan_backend(
-        request.backend, spec.backends, _instance_size(request.instance)
+        request.backend, spec.backends, instance_size(request.instance)
     )
     (_BACKEND_NUMPY if backend == "numpy" else _BACKEND_PYTHON).inc()
     if fell_back:
         _BACKEND_FALLBACK.inc()
     return backend
+
+
+def _resolve_strategy(request: SolveRequest, spec: SolverSpec) -> tuple:
+    """Resolve the execution strategy — pure, no metrics (see module doc).
+
+    Returns ``(strategy, fell_back)`` with ``strategy`` one of the
+    :data:`_STRATEGIES` keys.
+    """
+    return plan_partition(
+        request.partition,
+        spec.partitionable,
+        instance_size(request.instance),
+        stations=int(getattr(request.instance, "m", 0) or 0),
+    )
 
 
 def _build_oracle(spec: SolverSpec, eps: float):
@@ -233,7 +243,7 @@ def _resolve(request: SolveRequest) -> tuple:
     """
     family = (
         request.family if request.family != "auto"
-        else _infer_family(request.instance)
+        else infer_family(request.instance)
     )
     planned = request.algorithm == "auto"
     if planned:
@@ -250,18 +260,28 @@ def _resolve(request: SolveRequest) -> tuple:
     return family, algorithm, planned
 
 
-def _cacheable(request: SolveRequest, family: str) -> bool:
+def _cacheable(
+    request: SolveRequest, family: str, strategy: str = "monolithic"
+) -> bool:
     """Whether this request may consult/fill the result cache.
 
     A deadline (explicit or ambient) makes the outcome time-dependent,
     hence non-canonical for the instance: never cache such solves.  This
     also keeps ``--timeout 0`` failing deterministically with exit code 4
-    instead of answering from cache.
+    instead of answering from cache.  Partitioned solves are likewise
+    uncacheable: their value is strategy-dependent (within the certified
+    merge bound of monolithic, not equal to it), and the cache key is
+    strategy-agnostic by design.
     """
     from repro.resilience.budget import current_budget
 
     budgeted = request.timeout_s is not None or current_budget() is not None
-    return request.use_cache and not budgeted and family != "knapsack"
+    return (
+        request.use_cache
+        and not budgeted
+        and family != "knapsack"
+        and strategy == "monolithic"
+    )
 
 
 def cache_probe(request: SolveRequest) -> Optional[SolveReport]:
@@ -274,7 +294,8 @@ def cache_probe(request: SolveRequest) -> Optional[SolveReport]:
     so a probe hit is indistinguishable from a cached engine solve.
     """
     family, algorithm, planned = _resolve(request)
-    if not _cacheable(request, family):
+    strategy, _ = _resolve_strategy(request, get_spec(family, algorithm))
+    if not _cacheable(request, family, strategy):
         return None
     key = _cache.result_key(
         request.instance, family, algorithm, request.eps, request.seed
@@ -301,6 +322,8 @@ def cache_store(request: SolveRequest, report: SolveReport) -> bool:
     """
     if report.error is not None or report.solution is None:
         return False
+    if report.extra.get("strategy") == "partitioned":
+        return False
     if not _cacheable(request, report.family):
         return False
     key = _cache.result_key(
@@ -311,8 +334,59 @@ def cache_store(request: SolveRequest, report: SolveReport) -> bool:
     return True
 
 
+# ======================================================================
+# Execution strategies.  One dispatch seam for how a resolved
+# (family, algorithm) actually executes:
+#
+# * ``monolithic``  — build the solve context and run the spec directly;
+# * ``partitioned`` — reach-component decomposition, per-part solves
+#   fanned over the process pool, certified merge
+#   (:mod:`repro.engine.partition`, ``docs/SCALE.md``);
+# * worker-sharded — the third strategy lives one layer up: the service
+#   tier (``repro.service``) routes whole requests to supervised worker
+#   processes by content-fingerprint shard, and each worker re-enters
+#   this seam (monolithic or partitioned) locally.
+#
+# Strategy callables share one signature and return the raw solver
+# result for :func:`_normalize`; family-specific extras go into ``extra``.
+# ======================================================================
+def _run_monolithic(
+    request: SolveRequest, spec: SolverSpec, family: str, algorithm: str,
+    extra: Dict[str, Any],
+) -> Any:
+    """Run the spec in-process over the whole instance (default strategy)."""
+    ctx = SolveContext(eps=request.eps, seed=request.seed,
+                       oracle=_build_oracle(spec, request.eps),
+                       compiled=_build_compiled(request.instance, family),
+                       backend=_resolve_backend(request, spec))
+    return spec.run(request.instance, ctx)
+
+
+def _run_partitioned(
+    request: SolveRequest, spec: SolverSpec, family: str, algorithm: str,
+    extra: Dict[str, Any],
+) -> Any:
+    """Partition–solve–merge over the reach components (docs/SCALE.md).
+
+    Deliberately skips :func:`_build_compiled` for the parent instance —
+    compiling per-station views of all ``n`` customers is exactly the
+    cost this strategy avoids; each child solve compiles only its part.
+    """
+    from repro.engine.partition import solve_partitioned
+
+    solution, part_extra = solve_partitioned(request, algorithm)
+    extra.update(part_extra)
+    return solution
+
+
+_STRATEGIES = {
+    "monolithic": _run_monolithic,
+    "partitioned": _run_partitioned,
+}
+
+
 def solve(request: SolveRequest) -> SolveReport:
-    """Resolve, plan, solve, verify, and (maybe) cache one request.
+    """Resolve, plan, pick a strategy, solve, verify, and (maybe) cache.
 
     Raises whatever the underlying solver raises (``BudgetExpired`` on an
     expired ``timeout_s``, ``ValueError`` on inapplicable algorithms) —
@@ -332,7 +406,13 @@ def solve(request: SolveRequest) -> SolveReport:
     if reason is not None:
         raise ValueError(f"solver {family}/{algorithm} rejects this instance: {reason}")
 
-    cacheable = _cacheable(request, family)
+    strategy, fell_back = _resolve_strategy(request, spec)
+    (_PARTITION_PARTITIONED if strategy == "partitioned"
+     else _PARTITION_MONOLITHIC).inc()
+    if fell_back:
+        _PARTITION_FALLBACK.inc()
+
+    cacheable = _cacheable(request, family, strategy)
     key = None
     if cacheable:
         key = _cache.result_key(
@@ -347,22 +427,18 @@ def solve(request: SolveRequest) -> SolveReport:
                 label=request.label, extra=dict(extra),
             )
 
-    ctx = SolveContext(eps=request.eps, seed=request.seed,
-                       oracle=_build_oracle(spec, request.eps),
-                       compiled=_build_compiled(request.instance, family),
-                       backend=_resolve_backend(request, spec))
     budget_ctx = (
         Budget(wall_s=request.timeout_s).activate()
         if request.timeout_s is not None
         else nullcontext()
     )
+    extra: Dict[str, Any] = {}
     start = time.perf_counter()
     with budget_ctx:
-        result = spec.run(request.instance, ctx)
+        result = _STRATEGIES[strategy](request, spec, family, algorithm, extra)
     seconds = time.perf_counter() - start
     _SOLVE_TIMER.observe(seconds)
 
-    extra: Dict[str, Any] = {}
     solution, value = _normalize(result, request.instance, extra)
     _verify(solution, request.instance, family)
 
@@ -383,7 +459,7 @@ def _solve_worker(request: SolveRequest) -> SolveReport:
         family = request.family
         if family == "auto":
             try:
-                family = _infer_family(request.instance)
+                family = infer_family(request.instance)
             except ValueError:
                 family = "?"
         return SolveReport(

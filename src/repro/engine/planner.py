@@ -35,6 +35,15 @@ declares it and the instance has at least :data:`AUTO_NUMPY_MIN_N`
 customers (below that the kernel setup cost rivals the python loop);
 requesting ``"numpy"`` on a python-only spec falls back to ``"python"``
 cleanly (the engine counts it under ``engine.backend.fallback``).
+
+And the *partition* auto rule (:func:`plan_partition`, contract in
+``docs/SCALE.md``): ``partition="auto"|"never"|"force"`` resolves against
+the chosen spec's ``partitionable`` capability and the instance size —
+``"auto"`` partitions exactly when the spec allows it, the instance is a
+multi-station sector instance, and it has at least
+:data:`AUTO_PARTITION_MIN_N` customers; ``"force"`` on a
+non-partitionable spec falls back to monolithic cleanly (counted under
+``engine.partition.fallback``).
 """
 
 from __future__ import annotations
@@ -47,17 +56,24 @@ from repro.engine.registry import get_spec
 __all__ = [
     "plan",
     "plan_backend",
+    "plan_partition",
     "SMALL_N",
     "SMALL_K",
     "MID_N",
     "TIGHT_DEADLINE_S",
     "AUTO_NUMPY_MIN_N",
+    "AUTO_PARTITION_MIN_N",
 ]
 
 SMALL_N = 12
 SMALL_K = 3
 MID_N = 400
 TIGHT_DEADLINE_S = 2.0
+
+#: Minimum customer count before ``partition="auto"`` decomposes: below
+#: this the O(m·n) partition pass and per-part solve overhead rival the
+#: monolithic solve (``docs/SCALE.md``).
+AUTO_PARTITION_MIN_N = 20_000
 
 
 def plan_backend(
@@ -78,6 +94,36 @@ def plan_backend(
     if requested == "auto" and has_numpy and size >= AUTO_NUMPY_MIN_N:
         return "numpy", False
     return "python", False
+
+
+def plan_partition(
+    requested: str, partitionable: bool, size: int, stations: int = 0
+) -> Tuple[str, bool]:
+    """Resolve a request's partition policy against a spec's capability.
+
+    ``requested`` is ``"auto"``, ``"never"`` or ``"force"``; returns
+    ``(strategy, fell_back)`` where ``strategy`` is ``"monolithic"`` or
+    ``"partitioned"`` and ``fell_back`` is True when an explicit
+    ``"force"`` had to drop to monolithic because the spec declares
+    ``partitionable=False`` (the engine counts it under
+    ``engine.partition.fallback``).  ``"auto"`` never counts as a
+    fallback: it partitions exactly when the spec allows it, the payload
+    has more than one station, and ``size >= AUTO_PARTITION_MIN_N``.
+    """
+    if requested not in ("auto", "never", "force"):
+        raise ValueError(
+            f"partition must be 'auto', 'never' or 'force', got {requested!r}"
+        )
+    if requested == "force":
+        return ("partitioned", False) if partitionable else ("monolithic", True)
+    if (
+        requested == "auto"
+        and partitionable
+        and stations > 1
+        and size >= AUTO_PARTITION_MIN_N
+    ):
+        return "partitioned", False
+    return "monolithic", False
 
 
 def _oracle_beta(eps: float) -> float:

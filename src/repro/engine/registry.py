@@ -122,6 +122,15 @@ class SolverSpec:
         a request's ``backend`` against this tuple — requesting numpy on
         a python-only spec falls back cleanly (counted by
         ``engine.backend.fallback``).  Contract: ``docs/BACKENDS.md``.
+    partitionable:
+        Whether the solver's answers survive the reach-component
+        decomposition of :mod:`repro.engine.partition` — i.e. running it
+        per component and concatenating yields a feasible solution of
+        the whole instance.  Only meaningful for sector solvers whose
+        work is local to a station's reach; the planner's
+        :func:`repro.engine.planner.plan_partition` consults this column
+        the way ``plan_backend`` consults ``backends``.  Contract:
+        ``docs/SCALE.md``.
     accepts:
         ``accepts(instance) -> None | str``: None when applicable, else a
         one-line rejection reason (wrong k, heterogeneous antennas, ...).
@@ -139,6 +148,7 @@ class SolverSpec:
     complexity: str = "poly"
     uses: Tuple[str, ...] = ()
     backends: Tuple[str, ...] = ("python",)
+    partitionable: bool = False
     accepts: Optional[Callable[[Any], Optional[str]]] = None
     description: str = ""
 
@@ -514,6 +524,7 @@ def _register_builtin() -> None:
         guarantee="b/(1+b)", guarantee_fn=_beta_greedy, supports_budget=True,
         uses=("solve_sector_greedy",),
         backends=("python", "numpy"),
+        partitionable=True,
         accepts=_is_sector,
         description="global greedy over every antenna of every station",
     ))
@@ -523,6 +534,7 @@ def _register_builtin() -> None:
         supports_budget=True,
         uses=("solve_sector_greedy", "improve_sector_solution"),
         backends=("python", "numpy"),
+        partitionable=True,
         accepts=_is_sector,
         description="sector greedy followed by monotone local search",
     ))
@@ -531,6 +543,7 @@ def _register_builtin() -> None:
         guarantee="heuristic baseline",
         uses=("solve_sector_independent",),
         backends=("python", "numpy"),
+        partitionable=True,
         accepts=_is_sector,
         description="nearest-station partition, independent 1-D solves",
     ))

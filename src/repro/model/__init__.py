@@ -14,6 +14,7 @@ from repro.model.instance import (
     SectorInstance,
     Station,
 )
+from repro.model.introspect import infer_family, instance_size
 from repro.model.solution import (
     AngleSolution,
     FeasibilityError,
@@ -43,6 +44,8 @@ __all__ = [
     "SectorSolution",
     "FeasibilityError",
     "InvalidInstanceError",
+    "infer_family",
+    "instance_size",
     "generators",
     "perturbation",
     "angle_instance_to_dict",

@@ -16,6 +16,9 @@ regimes of the algorithms:
 * ``subset_sum_angles`` -- tight integer demands (knapsack-hard core).
 * ``uniform_disk`` / ``clustered_towns`` / ``grid_city`` -- 2-D sector
   families with one or many stations.
+* ``power_law_metro`` -- the million-customer scale family: Zipf-sized
+  towns spaced so far apart that station reach disks never cross town
+  borders, built in streamed numpy chunks (``docs/SCALE.md``).
 
 All generators take a ``seed`` (or an ``numpy.random.Generator``) and are
 fully reproducible.
@@ -51,6 +54,11 @@ def _demands(rng: np.random.Generator, n: int, dist: str, scale: float) -> np.nd
         return rng.integers(1, max(2, int(10 * scale)) + 1, size=n).astype(np.float64)
     if dist == "constant":
         return np.full(n, scale, dtype=np.float64)
+    if dist == "pareto":
+        # Heavy-tailed but finite-mean (shape 2.5): a few customers carry
+        # a large share of the demand, the regime power-law city models
+        # predict and the large-scale `metro` family uses.
+        return (rng.pareto(2.5, size=n) + 0.1) * scale
     raise ValueError(f"unknown demand distribution {dist!r}")
 
 
@@ -385,6 +393,96 @@ def macro_micro(
     return SectorInstance(positions=positions, demands=demands, stations=(station,))
 
 
+def power_law_metro(
+    n: int = 10_000,
+    towns: int = 8,
+    stations_per_town: int = 1,
+    k_per_station: int = 2,
+    rho: float = math.pi / 2,
+    radius: float = 6.0,
+    town_spacing: float = 40.0,
+    alpha: float = 1.0,
+    demand_dist: str = "pareto",
+    capacity_fraction: float = 0.2,
+    chunk: int = 1 << 16,
+    seed: RngLike = 0,
+) -> SectorInstance:
+    """Million-customer metro family: Zipf towns, power-law demand.
+
+    Capacities default deliberately *loose* (``capacity_fraction = 0.2``
+    of total demand per antenna, well above any single sector window's
+    demand): at this scale the binding constraint is angular coverage,
+    not the knapsack core, which keeps the inner rotation searches on
+    their everything-fits fast path instead of invoking an exact oracle
+    on thousands of continuous demands per window.  Drop the fraction to
+    study the capacity-tight regime at smaller ``n``.
+
+    Built for the scale benchmarks (``docs/SCALE.md``): ``towns`` centers
+    sit on a grid spaced ``town_spacing`` apart with
+    ``town_spacing > 4 * radius``, so station reach disks of different
+    towns can never overlap — the reach-components partition of
+    :mod:`repro.engine.partition` recovers exactly the towns.  Town sizes
+    follow a Zipf law with exponent ``alpha`` (one dominant metro, a long
+    tail of suburbs) and demands default to a heavy-tailed Pareto draw.
+
+    Construction is *streamed*: customers are generated town by town in
+    numpy chunks of at most ``chunk`` rows and concatenated once — no
+    per-customer python objects are ever materialized, so ``n`` up to
+    10**6 stays cheap (a few O(n) array passes).
+    """
+    if towns < 1:
+        raise ValueError("need at least one town")
+    if town_spacing <= 4.0 * radius:
+        raise ValueError(
+            "town_spacing must exceed 4 * radius so reach components "
+            "coincide with towns"
+        )
+    rng = _rng(seed)
+    side = int(math.ceil(math.sqrt(towns)))
+    grid_x, grid_y = np.divmod(np.arange(towns), side)
+    centers = np.stack([grid_x, grid_y], axis=1).astype(np.float64) * town_spacing
+    # Zipf town weights: town t gets weight (t+1)^-alpha.
+    weights = (np.arange(1, towns + 1, dtype=np.float64)) ** (-alpha)
+    weights /= weights.sum()
+    counts = rng.multinomial(n, weights)
+
+    pos_chunks = []
+    demand_chunks = []
+    spread = radius / 2.5
+    for t in range(towns):
+        left = int(counts[t])
+        while left > 0:
+            took = min(left, int(chunk))
+            pts = centers[t] + rng.normal(0.0, spread, size=(took, 2))
+            pos_chunks.append(pts)
+            demand_chunks.append(_demands(rng, took, demand_dist, 1.0))
+            left -= took
+    if pos_chunks:
+        positions = np.concatenate(pos_chunks, axis=0)
+        demands = np.concatenate(demand_chunks)
+    else:  # pragma: no cover - n == 0 is rejected by instance validation
+        positions = np.zeros((0, 2))
+        demands = np.zeros(0)
+
+    capacity = max(
+        capacity_fraction * float(demands.sum()),
+        float(demands.max()) if n else 1.0,
+    )
+    sts = []
+    for t in range(towns):
+        for s in range(stations_per_town):
+            angle = TWO_PI * s / max(1, stations_per_town)
+            offset = (radius / 3.0) * np.array([math.cos(angle), math.sin(angle)])
+            px, py = centers[t] + (offset if stations_per_town > 1 else 0.0)
+            sts.append(Station(
+                position=(float(px), float(py)),
+                antennas=_uniform_antennas(k_per_station, rho, capacity,
+                                           radius=radius),
+            ))
+    return SectorInstance(positions=positions, demands=demands,
+                          stations=tuple(sts))
+
+
 #: Name → callable registry used by the CLI and the experiment harness.
 ANGLE_FAMILIES = {
     "uniform": uniform_angles,
@@ -400,4 +498,5 @@ SECTOR_FAMILIES = {
     "towns": clustered_towns,
     "grid": grid_city,
     "macro_micro": macro_micro,
+    "metro": power_law_metro,
 }

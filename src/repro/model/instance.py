@@ -38,6 +38,21 @@ class InvalidInstanceError(ValueError):
 
 
 def _readonly(arr: np.ndarray) -> np.ndarray:
+    """Adopt ``arr`` as an immutable float64 array.
+
+    Arrays that are *already* read-only float64 are adopted as-is instead
+    of being copied: the caller has given up write access, so sharing the
+    buffer is safe.  This is what lets the partitioner
+    (:mod:`repro.engine.partition`) build per-partition sub-instances as
+    contiguous *views* of one permuted struct-of-arrays without paying a
+    second O(n) copy per array per partition.
+    """
+    if (
+        isinstance(arr, np.ndarray)
+        and arr.dtype == np.float64
+        and not arr.flags.writeable
+    ):
+        return arr
     out = np.array(arr, dtype=np.float64, copy=True)
     out.flags.writeable = False
     return out

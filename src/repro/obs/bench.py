@@ -26,7 +26,7 @@ import json
 import platform
 import sys
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -130,6 +130,8 @@ def run_bench(
     service_bench: bool = False,
     compile_bench: bool = False,
     backend_bench: bool = False,
+    scale_bench: bool = False,
+    scale_sizes: Sequence[int] = (10_000, 100_000, 1_000_000),
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -169,6 +171,14 @@ def run_bench(
     multi-station sector workload, each solved through the engine on the
     ``python`` and ``numpy`` backends, with value identity between the
     two asserted in-harness (a mismatch raises instead of recording).
+
+    ``scale_bench=True`` adds the additive ``scale_bench`` section
+    (``docs/SCALE.md``): monolithic-vs-partitioned throughput curves on
+    ``metro`` instances at each ``n`` in ``scale_sizes``, with two
+    invariants asserted in-harness (a violation raises instead of
+    recording): every row's monolithic value is within the certified
+    merge bound of the partitioned value, and the partitioned strategy
+    is at least 3x faster than monolithic at ``n >= 10**6``.
     """
     from repro.engine import SolveRequest, clear_caches
     from repro.engine import solve as engine_solve
@@ -301,6 +311,8 @@ def run_bench(
         payload["compile_bench"] = _run_compile_bench(eps=eps)
     if backend_bench:
         payload["backend_bench"] = _run_backend_bench(eps=eps)
+    if scale_bench:
+        payload["scale_bench"] = _run_scale_bench(eps=eps, sizes=scale_sizes)
     return payload
 
 
@@ -618,6 +630,104 @@ def _run_backend_bench(
     }
 
 
+def _run_scale_bench(
+    eps: float,
+    sizes: Sequence[int] = (10_000, 100_000, 1_000_000),
+    algorithm: str = "greedy",
+    towns: int = 8,
+) -> dict:
+    """Monolithic-vs-partitioned throughput curves on metro instances.
+
+    For each ``n`` in ``sizes``, generates one ``metro`` instance
+    (``towns`` well-separated power-law towns, so the reach graph has
+    exactly ``towns`` components) and solves it through the engine twice
+    with the same partitionable sector solver: once with
+    ``partition="never"`` (the monolithic baseline, which compiles the
+    full instance) and once with ``partition="force"`` (the
+    partition–solve–merge path of :mod:`repro.engine.partition`).
+
+    Two invariants are **asserted in-harness** on every row — a
+    violation raises ``RuntimeError`` rather than recording a payload:
+
+    * *merge-bound soundness* — ``mono_value <= part_value +
+      merge_bound``, the certified decomposition guarantee from
+      ``docs/SCALE.md`` (on well-separated towns the bound is slack but
+      the values should in fact be identical);
+    * *scale win* — ``speedup >= 3.0`` on rows with ``n >= 10**6``,
+      the acceptance bar for the partitioned strategy.
+
+    Each configuration is timed once per size: the million-customer
+    monolithic solve runs multiple seconds, so min-of-repeats de-noising
+    would triple an already-long bench for a ratio that is far from the
+    3x threshold.
+    """
+    from repro.engine import SolveRequest, clear_caches
+    from repro.engine import solve as engine_solve
+    from repro.model.generators import power_law_metro
+
+    rows: List[dict] = []
+    for size in sizes:
+        instance = power_law_metro(n=int(size), towns=towns, seed=0)
+
+        def solve_once(partition: str) -> Tuple[float, Any]:
+            request = SolveRequest(
+                instance=instance,
+                family="sector",
+                algorithm=algorithm,
+                eps=eps,
+                use_cache=False,
+                partition=partition,
+            )
+            clear_caches()  # cold compile both ways: the comparison is fair
+            t0 = time.perf_counter()
+            report = engine_solve(request)
+            return time.perf_counter() - t0, report
+
+        mono_s, mono_report = solve_once("never")
+        part_s, part_report = solve_once("force")
+        if part_report.extra.get("strategy") != "partitioned":
+            raise RuntimeError(
+                "scale bench invariant broken: partition='force' did not "
+                f"run the partitioned strategy (n={size})"
+            )
+        merge_bound = float(part_report.extra["merge_bound"])
+        speedup = float(mono_s / part_s) if part_s > 0 else float("inf")
+        if mono_report.value > part_report.value + merge_bound + 1e-6:
+            raise RuntimeError(
+                "scale bench invariant broken: monolithic value "
+                f"{mono_report.value!r} exceeds partitioned value "
+                f"{part_report.value!r} + certified merge bound "
+                f"{merge_bound!r} at n={size}"
+            )
+        if size >= 1_000_000 and speedup < 3.0:
+            raise RuntimeError(
+                "scale bench invariant broken: partitioned speedup "
+                f"{speedup:.2f}x < 3x at n={size}"
+            )
+        rows.append(
+            {
+                "n": int(size),
+                "mono_s": float(mono_s),
+                "part_s": float(part_s),
+                "speedup": speedup,
+                "mono_value": float(mono_report.value),
+                "part_value": float(part_report.value),
+                "merge_bound": merge_bound,
+                "partition_upper_bound": float(
+                    part_report.extra["partition_upper_bound"]
+                ),
+                "parts": int(part_report.extra["partitions"]),
+                "unreachable": int(part_report.extra["unreachable"]),
+            }
+        )
+    return {
+        "algorithm": algorithm,
+        "family": "metro",
+        "towns": int(towns),
+        "rows": rows,
+    }
+
+
 def _run_service_bench(
     eps: float,
     n: int = 20,
@@ -898,6 +1008,29 @@ _BACKEND_BENCH_FIELDS: Dict[str, type] = {
     "sector_value": float,
 }
 
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``scale_bench=True``; validated only when present.
+_SCALE_BENCH_FIELDS: Dict[str, type] = {
+    "algorithm": str,
+    "family": str,
+    "towns": int,
+    "rows": list,
+}
+
+#: Per-size row of the ``scale_bench`` section's throughput-vs-n curve.
+_SCALE_BENCH_ROW_FIELDS: Dict[str, type] = {
+    "n": int,
+    "mono_s": float,
+    "part_s": float,
+    "speedup": float,
+    "mono_value": float,
+    "part_value": float,
+    "merge_bound": float,
+    "partition_upper_bound": float,
+    "parts": int,
+    "unreachable": int,
+}
+
 _SUMMARY_FIELDS: Dict[str, type] = {
     "runs": int,
     "total_wall_time_s": float,
@@ -1022,6 +1155,28 @@ def validate_bench(payload: dict) -> dict:
             _check(bb[field] >= 0.0, f"backend_bench.{field} negative")
         _check(bb["n"] > 0 and bb["sector_n"] > 0 and bb["knapsack_n"] > 0,
                "backend_bench sizes must be positive")
+    if "scale_bench" in payload:
+        sc = payload["scale_bench"]
+        _check(isinstance(sc, dict), "scale_bench must be an object")
+        _check_fields(sc, _SCALE_BENCH_FIELDS, "scale_bench")
+        _check(bool(sc["rows"]), "scale_bench.rows must be non-empty")
+        for j, row in enumerate(sc["rows"]):
+            where = f"scale_bench.rows[{j}]"
+            _check(isinstance(row, dict), f"{where} must be an object")
+            _check_fields(row, _SCALE_BENCH_ROW_FIELDS, where)
+            _check(row["n"] > 0, f"{where}.n must be positive")
+            _check(row["mono_s"] >= 0.0 and row["part_s"] >= 0.0,
+                   f"{where} wall times must be non-negative")
+            _check(row["speedup"] >= 0.0, f"{where}.speedup negative")
+            _check(row["merge_bound"] >= 0.0, f"{where}.merge_bound negative")
+            _check(row["parts"] >= 1, f"{where}.parts must be >= 1")
+            _check(row["unreachable"] >= 0, f"{where}.unreachable negative")
+            _check(
+                row["mono_value"]
+                <= row["part_value"] + row["merge_bound"] + 1e-6,
+                f"{where} monolithic value exceeds partitioned value plus "
+                "the certified merge bound",
+            )
     if "service_bench" in payload:
         sb = payload["service_bench"]
         _check(isinstance(sb, dict), "service_bench must be an object")

@@ -67,7 +67,8 @@ _ERROR_STATUS = {
 #: Envelope fields a ``solve`` request may carry besides ``op``/``id``.
 _SOLVE_FIELDS = frozenset(
     {"instance", "family", "algorithm", "eps", "seed", "timeout_s",
-     "guarantee", "variant", "use_cache", "label", "solution"}
+     "guarantee", "variant", "backend", "partition", "use_cache", "label",
+     "solution"}
 )
 
 
@@ -152,6 +153,8 @@ def envelope_to_request(envelope: Dict[str, Any]) -> SolveRequest:
                 else float(envelope["guarantee"])
             ),
             variant=str(envelope.get("variant", "overlap")),
+            backend=str(envelope.get("backend", "auto")),
+            partition=str(envelope.get("partition", "auto")),
             use_cache=bool(envelope.get("use_cache", True)),
             label=str(envelope.get("label", "")),
         )

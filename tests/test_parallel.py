@@ -38,6 +38,12 @@ class TestWorkerCount:
     def test_explicit_wins(self):
         assert worker_count(3) == 3
 
+    def test_explicit_beats_env(self, monkeypatch):
+        # An explicit argument is the caller's decision; the env var is
+        # only the *default* — reproducibility contract in docs/SCALE.md.
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert worker_count(3) == 3
+
     def test_explicit_clamped_to_one(self):
         assert worker_count(0) == 1
         assert worker_count(-5) == 1
