@@ -19,7 +19,9 @@ without breaking comparisons against older baselines:
 * ``backend_bench`` — python-vs-numpy backend speedups and per-backend
   solve rates (``docs/BACKENDS.md``);
 * ``scale_bench`` — per-size monolithic and partitioned solve rates plus
-  the partition speedup at each ``n`` (``docs/SCALE.md``).
+  the partition speedup at each ``n`` (``docs/SCALE.md``);
+* ``online_bench`` — delta-apply and from-scratch-recompile event rates
+  plus the delta speedup (``docs/ONLINE.md``).
 
 Exit status: ``0`` when no shared metric regressed by more than
 ``--threshold`` (default 20%), ``1`` when at least one did, ``2`` on
@@ -107,6 +109,13 @@ def _section_throughputs(payload: dict) -> Dict[str, float]:
                     out[f"scale_bench.n{n}.{name}"] = 1.0 / row[field]
             if "speedup" in row:
                 out[f"scale_bench.n{n}.speedup"] = row["speedup"]
+    ob = payload.get("online_bench")
+    if ob:
+        for field in (
+            "delta_events_per_s", "recompile_events_per_s", "speedup",
+        ):
+            if field in ob:
+                out[f"online_bench.{field}"] = ob[field]
     return out
 
 

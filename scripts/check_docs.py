@@ -5,7 +5,7 @@ Run from the repo root (``scripts/smoke.sh`` does)::
 
     PYTHONPATH=src python scripts/check_docs.py
 
-Five checks, all hard failures:
+Six checks, all hard failures:
 
 1. **Docstring coverage** — every public module under ``repro`` and every
    public top-level class/function in it carries a docstring (100%, no
@@ -24,6 +24,10 @@ Five checks, all hard failures:
    (:func:`repro.engine.specs`) is mentioned by name (as a ``code
    span``) in ``docs/ENGINE.md``, so the solver table there can never
    silently fall behind the registry.
+6. **Wire ops** — every service wire op named in ``docs/SERVICE.md`` or
+   ``docs/ONLINE.md`` is dispatched by the protocol handler in
+   ``src/repro/service/server.py``, so the documented wire surface can
+   never promise an op the server would answer with "unknown op".
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
@@ -201,6 +205,57 @@ def check_registry_docs(problems: list) -> int:
     return checked
 
 
+_OP_CELL = re.compile(r"^\|\s*`([a-z_]+)`")
+
+
+def known_wire_ops() -> set:
+    """Ground truth: op names the server's dispatch chain actually handles."""
+    server = (SRC / "repro" / "service" / "server.py").read_text(
+        encoding="utf-8"
+    )
+    ops = set(re.findall(r'op == "([a-z_]+)"', server))
+    default = re.search(r'\.get\("op",\s*"([a-z_]+)"\)', server)
+    if default:
+        ops.add(default.group(1))
+    return ops
+
+
+def check_wire_ops(problems: list) -> int:
+    """Every op named in the wire-op tables must be dispatched by the server.
+
+    An "op table" is any markdown table in docs/SERVICE.md or
+    docs/ONLINE.md whose first header cell is ``op``; the first-column
+    code spans of its rows are the documented op names.
+    """
+    known = known_wire_ops()
+    checked = 0
+    for name in ("SERVICE.md", "ONLINE.md"):
+        doc = ROOT / "docs" / name
+        if not doc.exists():
+            continue
+        in_op_table = False
+        for line in doc.read_text(encoding="utf-8").splitlines():
+            if not line.startswith("|"):
+                in_op_table = False
+                continue
+            first_cell = line.split("|")[1].strip() if "|" in line[1:] else ""
+            if first_cell == "op":
+                in_op_table = True
+                continue
+            if not in_op_table:
+                continue
+            match = _OP_CELL.match(line)
+            if not match:
+                continue
+            checked += 1
+            if match.group(1) not in known:
+                problems.append(
+                    f"wire-op: docs/{name} documents op `{match.group(1)}` "
+                    f"but the server never dispatches it"
+                )
+    return checked
+
+
 def main() -> int:
     problems: list = []
     symbols = check_docstrings(problems)
@@ -208,12 +263,14 @@ def main() -> int:
     flags = check_cli_flags(problems)
     links = check_links(problems)
     solvers = check_registry_docs(problems)
+    ops = check_wire_ops(problems)
     for p in problems:
         print(p, file=sys.stderr)
     print(
         f"check_docs: {symbols} public symbols, {metrics} metric mentions, "
         f"{flags} flag mentions, {links} links checked, "
-        f"{solvers} registered solvers checked, {len(problems)} problem(s)"
+        f"{solvers} registered solvers checked, {ops} wire ops checked, "
+        f"{len(problems)} problem(s)"
     )
     return 1 if problems else 0
 

@@ -88,22 +88,43 @@ write_bench(payload, sys.argv[1])
 PY
 python -m repro bench --check "$scale_out"
 
+echo "== online bench round-trip =="
+# Small-n delta-apply smoke: exercises the online_bench section (per-event
+# value identity and per-sector invalidation are asserted inside the
+# harness; the 5x speedup gate only arms at n >= 1e4, so this stays below
+# it) and validates the payload with the section present.
+online_out="$tmp/BENCH_online_smoke.json"
+python - "$online_out" <<'PY'
+import sys
+
+from repro.obs.bench import run_bench, write_bench
+
+payload = run_bench(
+    families=("uniform",), n=50, seeds=(0,), solvers=("greedy",),
+    tag="online-smoke", online_bench=True, online_n=1_500,
+    online_events=24,
+)
+write_bench(payload, sys.argv[1])
+PY
+python -m repro bench --check "$online_out"
+
 echo "== bench comparison (advisory) =="
 # Throughput diff between the two most recent committed payloads.  Wall
 # times from different machines/sessions are noisy, so a regression here
 # warns without failing the smoke (see scripts/bench_compare.py).
-if [ -f BENCH_pr7.json ] && [ -f BENCH_pr8.json ]; then
-    python scripts/bench_compare.py BENCH_pr7.json BENCH_pr8.json ||
+if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
+    python scripts/bench_compare.py BENCH_pr8.json BENCH_pr9.json ||
         echo "bench_compare: advisory throughput regression (not fatal)"
 fi
 
-echo "== bench comparison (enforced: backend_bench, service_bench, scale_bench) =="
+echo "== bench comparison (enforced: backend_bench, service_bench, scale_bench, online_bench) =="
 # Sections the smoke *enforces*: the committed payload must carry them,
 # and once a baseline payload has them too, >20% regressions in their
 # metrics fail the smoke (no advisory fallback here — see
 # scripts/bench_compare.py --enforce).  backend_bench stays pinned to
 # the pr5->pr6 pair that introduced it; service_bench to pr6->pr7;
-# scale_bench is enforced from pr8 on (guarded until BENCH_pr9 exists).
+# scale_bench to pr8->pr9; online_bench is enforced from pr9 on
+# (guarded until BENCH_pr10 exists).
 if [ -f BENCH_pr6.json ]; then
     python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json \
         --enforce backend_bench
@@ -115,6 +136,10 @@ fi
 if [ -f BENCH_pr9.json ]; then
     python scripts/bench_compare.py BENCH_pr8.json BENCH_pr9.json \
         --enforce scale_bench
+fi
+if [ -f BENCH_pr10.json ]; then
+    python scripts/bench_compare.py BENCH_pr9.json BENCH_pr10.json \
+        --enforce online_bench
 fi
 
 echo "== resilience smoke =="
@@ -147,6 +172,17 @@ for _ in $(seq 1 50); do
 done
 python -m repro client ping --unix "$sock"
 python -m repro client solve "$inst" --unix "$sock" --algorithm greedy --repeat 8
+# Dynamic-workload round trip (docs/ONLINE.md): open a delta session by
+# attaching the instance, stream events into it, re-solve in-flight.
+events="$tmp/events.json"
+cat > "$events" <<'JSON'
+[{"type": "add_customer", "demand": 1.5, "theta": 0.7},
+ {"type": "update_demand", "index": 0, "demand": 2.0, "profit": 2.0},
+ {"type": "remove_customer", "index": 3}]
+JSON
+python -m repro client event "$inst" --unix "$sock" --session smoke-session
+python -m repro client event --unix "$sock" --session smoke-session \
+    --events "$events" --resolve --algorithm greedy
 kill -TERM "$serve_pid"
 code=0
 wait "$serve_pid" || code=$?

@@ -27,8 +27,10 @@ Subcommands
     Run the batched async solver service (JSON-lines over TCP / Unix
     socket, see ``docs/SERVICE.md``); drains gracefully on SIGTERM.
 ``client``
-    Talk to a running service: ``solve`` / ``stats`` / ``ping`` /
-    ``shutdown``.
+    Talk to a running service: ``solve`` / ``event`` / ``stats`` /
+    ``ping`` / ``shutdown``.  ``event`` streams dynamic-workload events
+    (add/remove/update customers) into a server-side delta session
+    (``docs/ONLINE.md``).
 
 Exit codes (error hygiene contract, ``docs/RESILIENCE.md``): ``0`` success,
 ``1`` unexpected internal error, ``2`` usage / unknown name, ``3`` invalid
@@ -344,6 +346,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             compile_bench=args.compile_bench,
             backend_bench=args.backend_bench,
             scale_bench=args.scale_bench,
+            online_bench=args.online_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -395,7 +398,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_client(args: argparse.Namespace) -> int:
-    """``client``: talk to a running service (solve/stats/ping/shutdown)."""
+    """``client``: talk to a running service (solve/event/stats/ping/...)."""
     from repro.service.client import ServiceClient, ServiceError
 
     try:
@@ -427,6 +430,48 @@ def cmd_client(args: argparse.Namespace) -> int:
                 print()
                 print(format_table(["metric", "snapshot"], service_rows,
                                    title="service metrics"))
+            return int(response.get("status", EXIT_INTERNAL))
+        if args.action == "event":
+            if not args.session:
+                print("error: client event needs --session", file=sys.stderr)
+                return EXIT_USAGE
+            events = []
+            if args.events:
+                import pathlib
+
+                events = json.loads(pathlib.Path(args.events).read_text())
+                if not isinstance(events, list):
+                    print(f"error: {args.events} must hold a JSON list of "
+                          f"event dicts (docs/ONLINE.md)", file=sys.stderr)
+                    return EXIT_INVALID_INPUT
+            resolve = None
+            if args.resolve:
+                resolve = {"algorithm": args.algorithm}
+                if args.eps != 1.0:
+                    resolve["eps"] = args.eps
+            instance = load_instance(args.instance) if args.instance else None
+            response = client.event(
+                args.session, events=events, instance=instance,
+                resolve=resolve, timeout_s=args.timeout,
+            )
+            extra = response.get("extra", {})
+            rows = [
+                ["status", response["status"]],
+                ["session", extra.get("session", args.session)],
+                ["n", extra.get("n", "?")],
+                ["events applied", extra.get("applied", 0)],
+                ["cache invalidated", extra.get("invalidated", 0)],
+                ["cache retained", extra.get("retained", 0)],
+            ]
+            inner = extra.get("resolve")
+            if inner:
+                rows.append(["resolve algorithm", inner.get("algorithm", "?")])
+                rows.append(["resolve value", inner.get("value", 0.0)])
+                rows.append(["resolve seconds", inner.get("seconds", 0.0)])
+            if response["status"] != EXIT_OK:
+                rows.append(["error", response.get("error", "?")])
+            print(format_table(["metric", "value"], rows,
+                               title=f"client event {args.session}"))
             return int(response.get("status", EXIT_INTERNAL))
         # action == "solve"
         if not args.instance:
@@ -592,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "throughput curves on metro instances up to n=10^6, "
                         "merge-bound soundness asserted in-harness "
                         "(docs/SCALE.md)")
+    b.add_argument("--online-bench", action="store_true",
+                   help="add the online-delta section: event-apply vs "
+                        "from-scratch recompile throughput on a large "
+                        "instance, value identity and per-sector cache "
+                        "invalidation asserted in-harness (docs/ONLINE.md)")
     b.add_argument("--backend-bench", action="store_true",
                    help="add the backend-comparison section: large-n sweep "
                         "and sector workloads on the python vs numpy "
@@ -634,9 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
         "client",
         help="talk to a running solver service (docs/SERVICE.md)",
     )
-    cl.add_argument("action", choices=("solve", "stats", "ping", "shutdown"),
+    cl.add_argument("action",
+                    choices=("solve", "event", "stats", "ping", "shutdown"),
                     help="what to ask the service")
-    cl.add_argument("instance", nargs="?", help="instance JSON path (solve)")
+    cl.add_argument("instance", nargs="?",
+                    help="instance JSON path (solve; for event it opens or "
+                         "rebinds the session)")
     cl.add_argument("--host", default="127.0.0.1", help="service TCP address")
     cl.add_argument("--port", type=int, default=7077, help="service TCP port")
     cl.add_argument("--unix", metavar="PATH",
@@ -650,6 +703,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "on expiry)")
     cl.add_argument("--repeat", type=int, default=1, metavar="N",
                     help="pipeline the same solve N times (exercises batching)")
+    cl.add_argument("--session", metavar="NAME",
+                    help="delta-session name on the service (event action; "
+                         "sessions are shard-sticky, docs/ONLINE.md)")
+    cl.add_argument("--events", metavar="PATH",
+                    help="JSON file holding a list of event dicts to apply "
+                         "to the session, e.g. [{\"type\": \"add_customer\", "
+                         "\"demand\": 2.0, \"theta\": 0.5}]")
+    cl.add_argument("--resolve", action="store_true",
+                    help="re-solve the post-event instance in the same "
+                         "round trip (uses --algorithm/--eps)")
     cl.add_argument("--no-cache", action="store_true",
                     help="bypass the service's warm result cache")
     cl.add_argument("--solution", action="store_true",

@@ -14,11 +14,16 @@ Two process-wide LRU caches keyed by **content**, not identity:
 Keying is a SHA-256 over the canonical content: array bytes plus the
 antenna/station scalars, via :func:`fingerprint`.  Two instances with
 equal content share entries no matter how they were constructed; any
-content change produces a new key, so there is no invalidation protocol —
-stale entries simply age out of the LRU.  This is sound because instances
-are immutable by contract (read-only arrays, frozen dataclasses) and a
-compiled view is append-only after construction (its internal memo tables
-only accrete sweeps for new widths).
+content change produces a new key, so *correctness* never needs an
+invalidation protocol — stale entries simply age out of the LRU.  This is
+sound because instances are immutable by contract (read-only arrays,
+frozen dataclasses) and a compiled view is append-only after construction
+(its internal memo tables only accrete sweeps for new widths).  The online
+delta layer (:mod:`repro.online.delta`, ``docs/ONLINE.md``) additionally
+performs *capacity hygiene*: when an event stream touches a sector, it
+calls :meth:`LruCache.evict` on the registered result keys whose angular
+window contains a touched customer, so dead keys stop occupying LRU slots
+while untouched-sector entries stay warm.
 
 Mutation safety: the result cache stores and returns **deep copies**, so
 callers may freely edit what they get back.  The compile cache returns
@@ -97,6 +102,22 @@ class LruCache:
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
                 self._evictions.inc()
+
+    def evict(self, key: Hashable) -> bool:
+        """Drop one entry by key; True if it was present.
+
+        Used by the online delta layer's per-sector invalidation
+        (``docs/ONLINE.md``): keys whose angular window contains a touched
+        customer are dead (their content fingerprint can never recur), so
+        evicting them is pure capacity hygiene.  Counted under
+        ``<prefix>.evictions`` like a capacity eviction.
+        """
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+                self._evictions.inc()
+                return True
+            return False
 
     def clear(self) -> None:
         with self._lock:

@@ -132,6 +132,9 @@ def run_bench(
     backend_bench: bool = False,
     scale_bench: bool = False,
     scale_sizes: Sequence[int] = (10_000, 100_000, 1_000_000),
+    online_bench: bool = False,
+    online_n: int = 30_000,
+    online_events: int = 90,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -179,6 +182,18 @@ def run_bench(
     recording): every row's monolithic value is within the certified
     merge bound of the partitioned value, and the partitioned strategy
     is at least 3x faster than monolithic at ``n >= 10**6``.
+
+    ``online_bench=True`` adds the additive ``online_bench`` section
+    (``docs/ONLINE.md``): one seeded event stream of ``online_events``
+    add/remove/update events over a uniform angle instance of
+    ``online_n`` customers, applied two ways — through a
+    :class:`~repro.online.delta.DeltaCompiledInstance` (patching the
+    compiled views in place) and by rebuilding + recompiling the
+    instance from scratch after every event.  Value identity between
+    the two paths is asserted in-harness after *every* event, per-sector
+    cache invalidation is exercised against registered windows, and the
+    delta path must be at least 5x faster than recompiling when
+    ``online_n >= 10**4`` (a violation raises instead of recording).
     """
     from repro.engine import SolveRequest, clear_caches
     from repro.engine import solve as engine_solve
@@ -313,6 +328,10 @@ def run_bench(
         payload["backend_bench"] = _run_backend_bench(eps=eps)
     if scale_bench:
         payload["scale_bench"] = _run_scale_bench(eps=eps, sizes=scale_sizes)
+    if online_bench:
+        payload["online_bench"] = _run_online_bench(
+            n=online_n, events=online_events
+        )
     return payload
 
 
@@ -728,6 +747,181 @@ def _run_scale_bench(
     }
 
 
+def _run_online_bench(
+    n: int = 30_000,
+    events: int = 90,
+    sectors: int = 8,
+    repeats: int = 3,
+) -> dict:
+    """Delta-apply vs from-scratch-recompile throughput on an event stream.
+
+    One seeded stream of ``events`` events (every 4th an add, every 4th a
+    remove, the rest demand updates with ``profit == demand``, preserving
+    the paper's shared-objective fast path) is applied two ways to a
+    uniform angle instance of ``n`` customers:
+
+    * **delta** — one :class:`~repro.online.delta.DeltaCompiledInstance`
+      absorbing every event by patching the compiled views in place;
+    * **recompile** — the no-delta baseline: patch the raw arrays, build
+      a fresh :class:`~repro.model.instance.AngleInstance` and
+      ``compile()`` it after every event.
+
+    Three invariants are **asserted in-harness** (a violation raises
+    ``RuntimeError`` rather than recording a payload):
+
+    * *value identity* — after every event of an untimed correlated
+      pass, the delta generation equals the fresh compile bit-for-bit
+      (raw arrays, stable sort order, doubled prefix sums, content
+      fingerprint);
+    * *per-sector invalidation* — with ``sectors`` registered windows
+      tiling the circle, one add inside a single window evicts exactly
+      that window's result-cache key and leaves the others warm;
+    * *speedup gate* — delta apply is at least 5x recompile throughput
+      at ``n >= 10**4``.
+
+    Both sides are timed **best-of-``repeats``** (min over full-stream
+    passes): event applies are sub-millisecond, so a single pass is
+    dominated by scheduler noise on shared hardware, and min-of-k is the
+    standard de-noising for a ratio with a hard acceptance bar.
+    """
+    from repro.engine.cache import RESULT_CACHE, fingerprint
+    from repro.geometry.angles import TWO_PI
+    from repro.online.delta import (
+        AddCustomer,
+        DeltaCompiledInstance,
+        RemoveCustomer,
+        UpdateDemand,
+    )
+
+    seed_instance = _make_instance("uniform", n=n, k=3, seed=0)
+    rng = np.random.default_rng(7)
+    stream = []
+    adds = removes = updates = 0
+    live = n
+    for i in range(events):
+        if i % 4 == 0:
+            stream.append(AddCustomer(demand=float(rng.uniform(0.5, 2.0)),
+                                      theta=float(rng.uniform(0.0, TWO_PI))))
+            adds += 1
+            live += 1
+        elif i % 4 == 1:
+            stream.append(RemoveCustomer(index=int(rng.integers(0, live))))
+            removes += 1
+            live -= 1
+        else:
+            value = float(rng.uniform(0.5, 2.0))
+            stream.append(UpdateDemand(index=int(rng.integers(0, live)),
+                                       demand=value, profit=value))
+            updates += 1
+
+    def replay_raw(arrays, event):
+        """The no-delta baseline step: patch raw arrays, rebuild, recompile."""
+        thetas, demands = arrays
+        if isinstance(event, AddCustomer):
+            thetas = np.append(thetas, event.theta)
+            demands = np.append(demands, event.demand)
+        elif isinstance(event, RemoveCustomer):
+            thetas = np.delete(thetas, event.index)
+            demands = np.delete(demands, event.index)
+        else:
+            demands = demands.copy()
+            demands[event.index] = event.demand
+        instance = AngleInstance(thetas=thetas, demands=demands,
+                                 antennas=seed_instance.antennas)
+        return (instance.thetas, instance.demands), instance
+
+    # -- invariant 1: value identity, asserted after every event --------
+    delta = DeltaCompiledInstance(seed_instance)
+    arrays = (seed_instance.thetas, seed_instance.demands)
+    identity_events = 0
+    for event in stream:
+        delta.apply(event)
+        arrays, ref = replay_raw(arrays, event)
+        fresh = ref.compile()
+        view = delta.compiled
+        same = (
+            np.array_equal(delta.instance.thetas, ref.thetas)
+            and np.array_equal(delta.instance.demands, ref.demands)
+            and np.array_equal(delta.instance.profits, ref.profits)
+            and np.array_equal(view.order, fresh.order)
+            and np.array_equal(view.sorted_thetas, fresh.sorted_thetas)
+            and np.array_equal(view.demand_prefix, fresh.demand_prefix)
+            and np.array_equal(view.profit_prefix, fresh.profit_prefix)
+            and fingerprint(delta.instance) == fingerprint(ref)
+        )
+        if not same:
+            raise RuntimeError(
+                "online bench invariant broken: delta view diverged from "
+                f"a fresh compile after event {identity_events} "
+                f"({type(event).__name__})"
+            )
+        identity_events += 1
+
+    # -- invariant 2: per-sector invalidation keeps untouched keys warm -
+    delta = DeltaCompiledInstance(seed_instance)
+    width = TWO_PI / sectors
+    keys = []
+    for s in range(sectors):
+        key = ("online-bench", s)
+        RESULT_CACHE.put(key, f"sector-{s}")
+        delta.register_window(key, s * width, width * (1.0 - 1e-9))
+        keys.append(key)
+    summary = delta.apply(AddCustomer(demand=1.0, theta=width / 2.0))
+    invalidated = int(summary["invalidated"])
+    warm_hits = sum(
+        1 for s, key in enumerate(keys) if RESULT_CACHE.get(key) == f"sector-{s}"
+    )
+    if invalidated != 1 or warm_hits != sectors - 1:
+        raise RuntimeError(
+            "online bench invariant broken: one in-window add should evict "
+            f"exactly 1 of {sectors} registered windows, got "
+            f"invalidated={invalidated} warm={warm_hits}"
+        )
+
+    # -- timing: best-of-repeats on both sides --------------------------
+    def delta_pass() -> float:
+        d = DeltaCompiledInstance(seed_instance)
+        t0 = time.perf_counter()
+        for event in stream:
+            d.apply(event)
+        return time.perf_counter() - t0
+
+    def recompile_pass() -> float:
+        arrays = (seed_instance.thetas, seed_instance.demands)
+        t0 = time.perf_counter()
+        for event in stream:
+            arrays, instance = replay_raw(arrays, event)
+            instance.compile()
+        return time.perf_counter() - t0
+
+    delta_s = min(delta_pass() for _ in range(repeats))
+    recompile_s = min(recompile_pass() for _ in range(repeats))
+    speedup = float(recompile_s / delta_s) if delta_s > 0 else float("inf")
+    if n >= 10_000 and speedup < 5.0:
+        raise RuntimeError(
+            "online bench invariant broken: delta apply speedup "
+            f"{speedup:.2f}x < 5x vs recompile at n={n}"
+        )
+    return {
+        "n": int(n),
+        "events": int(events),
+        "adds": int(adds),
+        "removes": int(removes),
+        "updates": int(updates),
+        "delta_s": float(delta_s),
+        "recompile_s": float(recompile_s),
+        "delta_events_per_s": float(events / delta_s) if delta_s > 0 else 0.0,
+        "recompile_events_per_s": (
+            float(events / recompile_s) if recompile_s > 0 else 0.0
+        ),
+        "speedup": speedup,
+        "identity_events": int(identity_events),
+        "sectors": int(sectors),
+        "warm_hits": int(warm_hits),
+        "invalidated": int(invalidated),
+    }
+
+
 def _run_service_bench(
     eps: float,
     n: int = 20,
@@ -1031,6 +1225,25 @@ _SCALE_BENCH_ROW_FIELDS: Dict[str, type] = {
     "unreachable": int,
 }
 
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``online_bench=True``; validated only when present.
+_ONLINE_BENCH_FIELDS: Dict[str, type] = {
+    "n": int,
+    "events": int,
+    "adds": int,
+    "removes": int,
+    "updates": int,
+    "delta_s": float,
+    "recompile_s": float,
+    "delta_events_per_s": float,
+    "recompile_events_per_s": float,
+    "speedup": float,
+    "identity_events": int,
+    "sectors": int,
+    "warm_hits": int,
+    "invalidated": int,
+}
+
 _SUMMARY_FIELDS: Dict[str, type] = {
     "runs": int,
     "total_wall_time_s": float,
@@ -1177,6 +1390,21 @@ def validate_bench(payload: dict) -> dict:
                 f"{where} monolithic value exceeds partitioned value plus "
                 "the certified merge bound",
             )
+    if "online_bench" in payload:
+        ob = payload["online_bench"]
+        _check(isinstance(ob, dict), "online_bench must be an object")
+        _check_fields(ob, _ONLINE_BENCH_FIELDS, "online_bench")
+        _check(ob["n"] > 0 and ob["events"] > 0,
+               "online_bench sizes must be positive")
+        _check(ob["adds"] + ob["removes"] + ob["updates"] == ob["events"],
+               "online_bench event mix must sum to the event count")
+        _check(ob["delta_s"] >= 0.0 and ob["recompile_s"] >= 0.0,
+               "online_bench wall times must be non-negative")
+        _check(ob["speedup"] > 0.0, "online_bench.speedup must be positive")
+        _check(ob["identity_events"] == ob["events"],
+               "online_bench must assert identity on every event")
+        _check(ob["warm_hits"] + ob["invalidated"] == ob["sectors"],
+               "online_bench invalidation split must cover every sector")
     if "service_bench" in payload:
         sb = payload["service_bench"]
         _check(isinstance(sb, dict), "service_bench must be an object")

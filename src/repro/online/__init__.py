@@ -1,9 +1,14 @@
 """Online variant: customers arrive one at a time, decisions are final.
 
-The SPAA 2007 problem is offline; the natural online relaxation (an
-operator admits subscribers as they sign up, with beams already oriented)
-is implemented here: fixed orientations, an arrival stream of customers,
-and irrevocable accept/assign-or-reject decisions.
+The SPAA 2007 problem is offline; two online relaxations live here:
+
+* :mod:`repro.online.admission` — fixed orientations, an arrival stream
+  of customers, and irrevocable accept/assign-or-reject decisions;
+* :mod:`repro.online.delta` — the dynamic-instance workload: arrivals,
+  departures and demand drift applied as events to a
+  :class:`~repro.online.delta.DeltaCompiledInstance` that patches the
+  compiled struct-of-arrays views instead of recompiling, with
+  per-sector result-cache invalidation (``docs/ONLINE.md``).
 """
 
 from repro.online.admission import (
@@ -13,6 +18,15 @@ from repro.online.admission import (
     replay_offline_reference,
     work_conserving_bound,
 )
+from repro.online.delta import (
+    AddCustomer,
+    DeltaCompiledInstance,
+    Event,
+    RemoveCustomer,
+    UpdateDemand,
+    event_from_dict,
+    event_to_dict,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -20,4 +34,11 @@ __all__ = [
     "POLICIES",
     "work_conserving_bound",
     "replay_offline_reference",
+    "AddCustomer",
+    "RemoveCustomer",
+    "UpdateDemand",
+    "Event",
+    "DeltaCompiledInstance",
+    "event_from_dict",
+    "event_to_dict",
 ]

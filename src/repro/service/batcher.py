@@ -167,26 +167,38 @@ def run_batch(
     fan the unique misses through :func:`repro.engine.solve_many`, then
     store the fresh results back into the parent cache.  Order-preserving;
     every request gets a report (failures as ``error`` reports).
+
+    Event requests (:class:`~repro.service.events.EventRequest`) ride the
+    same queue but are never probed, deduped or fanned out — they mutate
+    session state, so they execute in admission order on the batch thread
+    against this process's session table.
     """
     reports, unique, alias = _plan_batch(requests)
     if unique:
-        from repro.engine import solve_many
-        from repro.engine.cache import shared_compiled
+        from repro.service.events import EventRequest, execute_event
 
-        # Prewarm the parent compile cache: one CompiledInstance per
-        # distinct instance in the batch.  Serial solves (the < 4-request
-        # fallback and workers=1) then hit it instead of recompiling per
-        # request; knapsack triples and other unfingerprintable payloads
-        # are skipped.
-        for i in unique:
-            try:
-                shared_compiled(requests[i].instance)
-            except TypeError:
-                continue
-        solved = solve_many([requests[i] for i in unique], workers=workers)
-        for i, report in zip(unique, solved):
-            reports[i] = report
-            cache_store(requests[i], report)
+        event_idx = [i for i in unique if isinstance(requests[i], EventRequest)]
+        solve_idx = [i for i in unique if not isinstance(requests[i], EventRequest)]
+        for i in event_idx:
+            reports[i] = execute_event(requests[i])
+        if solve_idx:
+            from repro.engine import solve_many
+            from repro.engine.cache import shared_compiled
+
+            # Prewarm the parent compile cache: one CompiledInstance per
+            # distinct instance in the batch.  Serial solves (the
+            # < 4-request fallback and workers=1) then hit it instead of
+            # recompiling per request; knapsack triples and other
+            # unfingerprintable payloads are skipped.
+            for i in solve_idx:
+                try:
+                    shared_compiled(requests[i].instance)
+                except TypeError:
+                    continue
+            solved = solve_many([requests[i] for i in solve_idx], workers=workers)
+            for i, report in zip(solve_idx, solved):
+                reports[i] = report
+                cache_store(requests[i], report)
     return _fill_aliases(reports, requests, alias)
 
 

@@ -248,6 +248,46 @@ class ServiceClient:
             )
         )
 
+    def event(
+        self,
+        session: str,
+        events: Optional[Sequence[Any]] = None,
+        instance: Any = None,
+        resolve: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Apply events to a delta session; optionally resolve in-flight.
+
+        ``session`` names the server-side
+        :class:`~repro.online.delta.DeltaCompiledInstance`; passing
+        ``instance`` opens (or rebinds) it.  ``events`` accepts event
+        objects (:class:`~repro.online.delta.AddCustomer` et al.) or
+        already-serialized dicts; ``resolve`` is a dict of solve options
+        (``{"algorithm": "greedy"}``) to run against the post-event
+        instance in the same round trip.  Wire grammar: ``docs/ONLINE.md``.
+        """
+        from repro.online.delta import event_to_dict
+
+        envelope: Dict[str, Any] = {
+            "op": "event",
+            "id": self._fresh_id(),
+            "session": session,
+        }
+        if instance is not None:
+            envelope["instance"] = _instance_payload(instance)
+        if events:
+            envelope["events"] = [
+                e if isinstance(e, dict) else event_to_dict(e) for e in events
+            ]
+        if resolve is not None:
+            envelope["resolve"] = dict(resolve)
+        if timeout_s is not None:
+            envelope["timeout_s"] = timeout_s
+        if label is not None:
+            envelope["label"] = label
+        return self.request(envelope)
+
     def solve_batch(
         self,
         instances: Union[Sequence[Any], Iterable[Any]],

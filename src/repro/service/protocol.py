@@ -1,8 +1,9 @@
 """The solver service wire protocol: JSON-lines envelopes + status codes.
 
 One request per line, one response per line, UTF-8 JSON (the full
-field-by-field contract is ``docs/SERVICE.md``).  Requests carry an ``op``
-(``solve`` / ``stats`` / ``ping`` / ``shutdown``) and a caller-chosen
+field-by-field contract is ``docs/SERVICE.md``; the ``event`` op's
+grammar is ``docs/ONLINE.md``).  Requests carry an ``op`` (``solve`` /
+``event`` / ``stats`` / ``ping`` / ``shutdown``) and a caller-chosen
 ``id`` echoed back on the response; responses to a pipelined connection
 may arrive **out of order**, so the ``id`` is the correlation key.
 
@@ -38,6 +39,7 @@ __all__ = [
     "encode_line",
     "decode_line",
     "envelope_to_request",
+    "envelope_to_event",
     "report_to_response",
     "error_response",
     "status_from_error",
@@ -69,6 +71,17 @@ _SOLVE_FIELDS = frozenset(
     {"instance", "family", "algorithm", "eps", "seed", "timeout_s",
      "guarantee", "variant", "backend", "partition", "use_cache", "label",
      "solution"}
+)
+
+#: Envelope fields an ``event`` request may carry besides ``op``/``id``.
+_EVENT_FIELDS = frozenset(
+    {"session", "instance", "events", "resolve", "timeout_s", "label"}
+)
+
+#: ``resolve`` sub-spec fields (solve options minus instance/timeout).
+_RESOLVE_FIELDS = frozenset(
+    {"family", "algorithm", "eps", "seed", "guarantee", "variant",
+     "backend", "partition", "use_cache", "label"}
 )
 
 
@@ -165,6 +178,64 @@ def envelope_to_request(envelope: Dict[str, Any]) -> SolveRequest:
     if request.timeout_s is not None and request.timeout_s < 0:
         raise ProtocolError(STATUS_USAGE, "timeout_s must be non-negative")
     return request
+
+
+def envelope_to_event(envelope: Dict[str, Any]):
+    """Validate an ``event`` envelope and build the service request.
+
+    Grammar (``docs/ONLINE.md``): ``session`` (required string) names the
+    delta session; ``instance`` (optional serialized instance) opens or
+    rebinds it; ``events`` (optional list) carries add/remove/update event
+    objects; ``resolve`` (optional object of solve options) requests a
+    solve of the post-event instance in the same round trip.  Malformed
+    structure raises :class:`ProtocolError` (status ``2``); instance
+    payload errors surface as ``InvalidInstanceError`` (status ``3``).
+    """
+    from repro.online.delta import event_from_dict
+    from repro.service.events import EventRequest
+
+    unknown = set(envelope) - _EVENT_FIELDS - {"op", "id"}
+    if unknown:
+        raise ProtocolError(
+            STATUS_USAGE, f"unknown envelope field(s): {sorted(unknown)}"
+        )
+    session = envelope.get("session")
+    if not isinstance(session, str) or not session:
+        raise ProtocolError(
+            STATUS_USAGE, "event envelope requires a non-empty string 'session'"
+        )
+    open_instance = None
+    if envelope.get("instance") is not None:
+        open_instance = _parse_instance(envelope["instance"], "auto")
+    raw_events = envelope.get("events", [])
+    if not isinstance(raw_events, list):
+        raise ProtocolError(STATUS_USAGE, "'events' must be a list of objects")
+    try:
+        events = tuple(event_from_dict(e) for e in raw_events)
+    except ValueError as exc:
+        raise ProtocolError(STATUS_USAGE, str(exc))
+    resolve = envelope.get("resolve")
+    if resolve is not None:
+        if not isinstance(resolve, dict):
+            raise ProtocolError(STATUS_USAGE, "'resolve' must be an object")
+        bad = set(resolve) - _RESOLVE_FIELDS
+        if bad:
+            raise ProtocolError(
+                STATUS_USAGE, f"unknown resolve field(s): {sorted(bad)}"
+            )
+    timeout_s = envelope.get("timeout_s")
+    if timeout_s is not None:
+        timeout_s = float(timeout_s)
+        if timeout_s < 0:
+            raise ProtocolError(STATUS_USAGE, "timeout_s must be non-negative")
+    return EventRequest(
+        session=session,
+        events=events,
+        open_instance=open_instance,
+        resolve=resolve,
+        timeout_s=timeout_s,
+        label=str(envelope.get("label", "")),
+    )
 
 
 def status_from_error(error: Optional[str]) -> int:

@@ -263,6 +263,8 @@ class SolverService:
                 asyncio.ensure_future(self.drain())
             elif op == "solve":
                 response = await self._handle_solve(envelope, request_id)
+            elif op == "event":
+                response = await self._handle_event(envelope, request_id)
             else:
                 response = protocol.error_response(
                     request_id, protocol.STATUS_USAGE, f"unknown op {op!r}"
@@ -304,6 +306,42 @@ class SolverService:
             report,
             batch_size=int(report.extra.get("batch_size", 1)),
             include_solution=bool(envelope.get("solution", False)),
+        )
+
+    async def _handle_event(
+        self, envelope: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        """The ``event`` op: delta sessions on the same batched hot path.
+
+        Event requests share the solve queue — admission control, deadline
+        rewriting and shedding behave identically — but execute against the
+        session table instead of the engine (``docs/ONLINE.md``); in the
+        supervised tier they shard by session name, so one worker owns each
+        session's delta view.
+        """
+        from repro.model.instance import InvalidInstanceError
+
+        try:
+            request = protocol.envelope_to_event(envelope)
+        except InvalidInstanceError as exc:
+            return protocol.error_response(
+                request_id, protocol.STATUS_INVALID_INPUT, str(exc)
+            )
+        if self._draining:
+            return protocol.error_response(
+                request_id, protocol.STATUS_OVERLOADED, "shed: draining"
+            )
+        try:
+            future = self._batcher.submit(request)
+        except Overloaded as exc:
+            return protocol.error_response(
+                request_id, protocol.STATUS_OVERLOADED, f"shed: {exc}"
+            )
+        report = await future
+        return protocol.report_to_response(
+            request_id,
+            report,
+            batch_size=int(report.extra.get("batch_size", 1)),
         )
 
     def _stats_response(self, request_id: Any) -> Dict[str, Any]:

@@ -435,7 +435,13 @@ class WorkerSupervisor:
 
 
 def _solve_in_process(requests: List[SolveRequest]) -> List[SolveReport]:
-    """Last-resort serial solve in the service process (degraded mode)."""
-    from repro.engine.core import _solve_worker
+    """Last-resort serial solve in the service process (degraded mode).
 
-    return [_solve_worker(request) for request in requests]
+    Event requests execute against the *parent's* session table here — a
+    degraded-mode session diverges from the dead worker's copy, so the
+    client must re-open it (attach ``instance``) once workers recover;
+    ``docs/ONLINE.md`` documents this failure semantic.
+    """
+    from repro.service.events import execute_request
+
+    return [execute_request(request) for request in requests]

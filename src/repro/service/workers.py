@@ -199,7 +199,7 @@ def worker_main(conn, worker_id: int, generation: int,
     via its timeout, and a worker that survives garbage stays useful.
     """
     from repro.engine.cache import COMPILE_CACHE, RESULT_CACHE
-    from repro.engine.core import _solve_worker
+    from repro.service.events import execute_request
 
     site = f"service.worker.{worker_id}.gen{generation}"
     ordinal = 0
@@ -237,7 +237,9 @@ def worker_main(conn, worker_id: int, generation: int,
             except (OSError, ValueError):
                 return
             continue
-        reports = [_solve_worker(request) for request in payload]
+        # Dispatch seam: EventRequests hit this worker's session table
+        # (shard-sticky by session name), everything else solves.
+        reports = [execute_request(request) for request in payload]
         action = None
         if chaos is not None:
             action = chaos.decide_reply(site, ordinal)

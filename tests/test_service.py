@@ -305,6 +305,115 @@ class TestServiceEndToEnd:
 
 
 # ----------------------------------------------------------------------
+# The event op (dynamic workloads, docs/ONLINE.md)
+# ----------------------------------------------------------------------
+class TestEventOp:
+    def test_envelope_validation(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.envelope_to_event({"op": "event"})  # no session
+        assert err.value.status == STATUS_USAGE
+        with pytest.raises(ProtocolError) as err:
+            protocol.envelope_to_event(
+                {"op": "event", "session": "s", "frobnicate": 1}
+            )
+        assert err.value.status == STATUS_USAGE
+        with pytest.raises(ProtocolError) as err:
+            protocol.envelope_to_event(
+                {"op": "event", "session": "s",
+                 "events": [{"type": "teleport"}]}
+            )
+        assert err.value.status == STATUS_USAGE
+        with pytest.raises(ProtocolError) as err:
+            protocol.envelope_to_event(
+                {"op": "event", "session": "s",
+                 "resolve": {"bogus_option": 1}}
+            )
+        assert err.value.status == STATUS_USAGE
+
+    def test_open_apply_resolve_round_trip(self):
+        from repro.online.delta import AddCustomer, RemoveCustomer, UpdateDemand
+
+        clear_caches()
+        inst = _instances(1, n=16)[0]
+        handle = start_in_thread(port=0)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                opened = client.event("t-sess", instance=inst,
+                                      resolve={"algorithm": "greedy"})
+                assert opened["status"] == STATUS_OK
+                assert opened["extra"]["n"] == 16
+                offline = opened["extra"]["resolve"]["value"]
+
+                applied = client.event(
+                    "t-sess",
+                    events=[AddCustomer(demand=1.0, theta=0.25),
+                            UpdateDemand(index=0, demand=2.0, profit=2.0),
+                            RemoveCustomer(index=3)],
+                    resolve={"algorithm": "greedy"},
+                )
+                assert applied["status"] == STATUS_OK
+                assert applied["extra"]["applied"] == 3
+                assert applied["extra"]["n"] == 16
+                assert applied["extra"]["fingerprint"] != opened["extra"]["fingerprint"]
+                assert applied["extra"]["resolve"]["value"] > 0.0
+                assert offline > 0.0
+        finally:
+            handle.stop()
+
+    def test_unknown_session_is_usage_status(self):
+        handle = start_in_thread(port=0)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                response = client.event(
+                    "never-opened",
+                    events=[{"type": "remove_customer", "index": 0}],
+                )
+                assert response["status"] == STATUS_USAGE
+                assert "unknown session" in response["error"]
+        finally:
+            handle.stop()
+
+    def test_bad_event_value_is_invalid_input_status(self):
+        clear_caches()
+        inst = _instances(1, n=8)[0]
+        handle = start_in_thread(port=0)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                opened = client.event("bad-sess", instance=inst)
+                assert opened["status"] == STATUS_OK
+                response = client.event(
+                    "bad-sess",
+                    events=[{"type": "add_customer", "demand": -1.0,
+                             "theta": 0.5}],
+                )
+                assert response["status"] == STATUS_INVALID_INPUT
+                assert "InvalidInstanceError" in response["error"]
+        finally:
+            handle.stop()
+
+    def test_events_batch_alongside_solves(self):
+        """Event and solve requests can share one pipelined connection."""
+        clear_caches()
+        inst = _instances(1, n=12)[0]
+        handle = start_in_thread(port=0, flush_interval_s=0.05)
+        try:
+            with ServiceClient(port=handle.port) as client:
+                opened = client.event("mix-sess", instance=inst)
+                assert opened["status"] == STATUS_OK
+                solve = client.solve(inst, algorithm="greedy")
+                assert solve["status"] == STATUS_OK
+                applied = client.event(
+                    "mix-sess",
+                    events=[{"type": "add_customer", "demand": 1.0,
+                             "theta": 1.0}],
+                )
+                assert applied["status"] == STATUS_OK
+                assert applied["extra"]["n"] == 13
+        finally:
+            handle.stop()
+
+
+# ----------------------------------------------------------------------
 # Client reconnect-with-backoff
 # ----------------------------------------------------------------------
 class _CutOnceProxy:
