@@ -21,7 +21,10 @@ without breaking comparisons against older baselines:
 * ``scale_bench`` — per-size monolithic and partitioned solve rates plus
   the partition speedup at each ``n`` (``docs/SCALE.md``);
 * ``online_bench`` — delta-apply and from-scratch-recompile event rates
-  plus the delta speedup (``docs/ONLINE.md``).
+  plus the delta speedup (``docs/ONLINE.md``);
+* ``scenario_bench`` — constrained solve rates per backend and the
+  inverse mask-compose overhead ratio, so a compose slowdown reads as a
+  throughput regression (``docs/SCENARIOS.md``).
 
 Exit status: ``0`` when no shared metric regressed by more than
 ``--threshold`` (default 20%), ``1`` when at least one did, ``2`` on
@@ -116,6 +119,18 @@ def _section_throughputs(payload: dict) -> Dict[str, float]:
         ):
             if field in ob:
                 out[f"online_bench.{field}"] = ob[field]
+    sn = payload.get("scenario_bench")
+    if sn:
+        # Higher-is-better orientation: invert the overhead ratio so a
+        # slower mask composition shows up as a metric drop.
+        if sn.get("overhead_ratio", 0.0) > 0:
+            out["scenario_bench.compose_headroom"] = 1.0 / sn["overhead_ratio"]
+        for row in sn.get("rows", ()):
+            solver = row.get("solver")
+            for field in ("python_s", "numpy_s"):
+                if solver and row.get(field, 0.0) > 0:
+                    name = field.replace("_s", "_solves_per_s")
+                    out[f"scenario_bench.{solver}.{name}"] = 1.0 / row[field]
     return out
 
 

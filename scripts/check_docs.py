@@ -5,7 +5,7 @@ Run from the repo root (``scripts/smoke.sh`` does)::
 
     PYTHONPATH=src python scripts/check_docs.py
 
-Six checks, all hard failures:
+Seven checks, all hard failures:
 
 1. **Docstring coverage** — every public module under ``repro`` and every
    public top-level class/function in it carries a docstring (100%, no
@@ -28,6 +28,10 @@ Six checks, all hard failures:
    ``docs/ONLINE.md`` is dispatched by the protocol handler in
    ``src/repro/service/server.py``, so the documented wire surface can
    never promise an op the server would answer with "unknown op".
+7. **Constraint kinds** — every constraint kind registered in
+   ``repro.model.constraints.CONSTRAINT_KINDS`` is documented (as a
+   ``code span``) in ``docs/SCENARIOS.md``, so the constraint grammar
+   there can never silently fall behind the wire registry.
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
@@ -256,6 +260,26 @@ def check_wire_ops(problems: list) -> int:
     return checked
 
 
+def check_constraint_docs(problems: list) -> int:
+    """Every registered constraint kind must appear in SCENARIOS.md."""
+    from repro.model.constraints import CONSTRAINT_KINDS
+
+    scenarios_md = ROOT / "docs" / "SCENARIOS.md"
+    if not scenarios_md.exists():
+        problems.append("constraint: docs/SCENARIOS.md does not exist")
+        return 0
+    text = scenarios_md.read_text(encoding="utf-8")
+    checked = 0
+    for kind in CONSTRAINT_KINDS:
+        checked += 1
+        if f"`{kind}`" not in text:
+            problems.append(
+                f"constraint: kind {kind!r} is registered but `{kind}` "
+                f"never appears in docs/SCENARIOS.md"
+            )
+    return checked
+
+
 def main() -> int:
     problems: list = []
     symbols = check_docstrings(problems)
@@ -264,13 +288,14 @@ def main() -> int:
     links = check_links(problems)
     solvers = check_registry_docs(problems)
     ops = check_wire_ops(problems)
+    kinds = check_constraint_docs(problems)
     for p in problems:
         print(p, file=sys.stderr)
     print(
         f"check_docs: {symbols} public symbols, {metrics} metric mentions, "
         f"{flags} flag mentions, {links} links checked, "
         f"{solvers} registered solvers checked, {ops} wire ops checked, "
-        f"{len(problems)} problem(s)"
+        f"{kinds} constraint kinds checked, {len(problems)} problem(s)"
     )
     return 1 if problems else 0
 

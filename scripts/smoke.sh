@@ -108,23 +108,43 @@ write_bench(payload, sys.argv[1])
 PY
 python -m repro bench --check "$online_out"
 
+echo "== scenario bench round-trip =="
+# Small-n constraint-pipeline smoke: exercises the scenario_bench section
+# (scalar-vs-vectorized mask composition identity and constrained solve
+# feasibility are asserted inside the harness; the <10% compose-overhead
+# gate only arms at n >= 5e4, so this stays below it) and validates the
+# payload with the section present.
+scenario_out="$tmp/BENCH_scenario_smoke.json"
+python - "$scenario_out" <<'PY'
+import sys
+
+from repro.obs.bench import run_bench, write_bench
+
+payload = run_bench(
+    families=("uniform",), n=50, seeds=(0,), solvers=("greedy",),
+    tag="scenario-smoke", scenario_bench=True, scenario_n=2_000,
+)
+write_bench(payload, sys.argv[1])
+PY
+python -m repro bench --check "$scenario_out"
+
 echo "== bench comparison (advisory) =="
 # Throughput diff between the two most recent committed payloads.  Wall
 # times from different machines/sessions are noisy, so a regression here
 # warns without failing the smoke (see scripts/bench_compare.py).
-if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
-    python scripts/bench_compare.py BENCH_pr8.json BENCH_pr9.json ||
+if [ -f BENCH_pr9.json ] && [ -f BENCH_pr10.json ]; then
+    python scripts/bench_compare.py BENCH_pr9.json BENCH_pr10.json ||
         echo "bench_compare: advisory throughput regression (not fatal)"
 fi
 
-echo "== bench comparison (enforced: backend_bench, service_bench, scale_bench, online_bench) =="
+echo "== bench comparison (enforced: backend_bench, service_bench, scale_bench, online_bench, scenario_bench) =="
 # Sections the smoke *enforces*: the committed payload must carry them,
 # and once a baseline payload has them too, >20% regressions in their
 # metrics fail the smoke (no advisory fallback here — see
 # scripts/bench_compare.py --enforce).  backend_bench stays pinned to
 # the pr5->pr6 pair that introduced it; service_bench to pr6->pr7;
-# scale_bench to pr8->pr9; online_bench is enforced from pr9 on
-# (guarded until BENCH_pr10 exists).
+# scale_bench to pr8->pr9; online_bench to pr9->pr10; scenario_bench is
+# enforced from pr10 on (guarded until BENCH_pr11 exists).
 if [ -f BENCH_pr6.json ]; then
     python scripts/bench_compare.py BENCH_pr5.json BENCH_pr6.json \
         --enforce backend_bench
@@ -140,6 +160,10 @@ fi
 if [ -f BENCH_pr10.json ]; then
     python scripts/bench_compare.py BENCH_pr9.json BENCH_pr10.json \
         --enforce online_bench
+fi
+if [ -f BENCH_pr11.json ]; then
+    python scripts/bench_compare.py BENCH_pr10.json BENCH_pr11.json \
+        --enforce scenario_bench
 fi
 
 echo "== resilience smoke =="

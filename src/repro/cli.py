@@ -347,6 +347,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             backend_bench=args.backend_bench,
             scale_bench=args.scale_bench,
             online_bench=args.online_bench,
+            scenario_bench=args.scenario_bench,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -642,6 +643,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "from-scratch recompile throughput on a large "
                         "instance, value identity and per-sector cache "
                         "invalidation asserted in-harness (docs/ONLINE.md)")
+    b.add_argument("--scenario-bench", action="store_true",
+                   help="add the constraint-pipeline section: scalar-vs-"
+                        "vectorized mask composition identity, constrained "
+                        "solve feasibility across backends, and the <10% "
+                        "mask-compose overhead gate asserted in-harness "
+                        "(docs/SCENARIOS.md)")
     b.add_argument("--backend-bench", action="store_true",
                    help="add the backend-comparison section: large-n sweep "
                         "and sector workloads on the python vs numpy "

@@ -16,7 +16,12 @@ kernels here replace exactly those hot loops:
   replayed with cumulative sums in a handful of vectorized rounds;
 * :func:`batched_station_polar` / :func:`nearest_reaching_station` — the
   per-station eligibility scans of :mod:`repro.packing.sectors`, batched
-  into one ``(m, n)`` polar conversion and one masked ``argmin``.
+  into one ``(m, n)`` polar conversion and one masked ``argmin``;
+* :func:`los_blocked` / :func:`topk_station_mask` — the constraint-mask
+  composition kernels of :mod:`repro.model.constraints`
+  (``docs/SCENARIOS.md``): per-station line-of-sight occlusion against a
+  segment set, and the per-customer top-``k`` nearest-reaching-station
+  membership mask, both bit-identical to the scalar per-pair primitives.
 
 **Contract** (``docs/BACKENDS.md``): the pure-python path is the oracle.
 Every kernel is either *bit-identical* to the scalar loop it replaces
@@ -44,6 +49,8 @@ __all__ = [
     "greedy_prefix_mask",
     "batched_station_polar",
     "nearest_reaching_station",
+    "los_blocked",
+    "topk_station_mask",
 ]
 
 #: The valid values of every ``backend`` knob (requests additionally
@@ -199,7 +206,10 @@ def batched_station_polar(instance) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def nearest_reaching_station(
-    rs_all: np.ndarray, max_radii: np.ndarray, slack: float = 1.0 + 1e-12
+    rs_all: np.ndarray,
+    max_radii: np.ndarray,
+    slack: float = 1.0 + 1e-12,
+    eligible: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Home station of every customer: nearest station that reaches it.
 
@@ -210,10 +220,115 @@ def nearest_reaching_station(
     scalar loop of ``solve_sector_independent``: the same reach slack,
     the same ``inf`` fill, and ``argmin``'s first-occurrence tie-break
     matches the loop's station order.
+
+    ``eligible`` optionally ANDs an ``(m, n)`` boolean mask (the composed
+    constraint masks of ``docs/SCENARIOS.md``) into the reach test, so
+    constrained instances home each customer onto its nearest *effective*
+    station.
     """
     rs_all = np.asarray(rs_all, dtype=np.float64)
     max_radii = np.asarray(max_radii, dtype=np.float64).reshape(-1, 1)
-    dist = np.where(rs_all <= max_radii * slack, rs_all, np.inf)
+    reach = rs_all <= max_radii * slack
+    if eligible is not None:
+        reach &= np.asarray(eligible, dtype=bool)
+    dist = np.where(reach, rs_all, np.inf)
     return np.where(
         np.isfinite(dist.min(axis=0)), dist.argmin(axis=0), -1
     ).astype(np.int64)
+
+
+def los_blocked(
+    sx: float, sy: float, positions: np.ndarray, segments: np.ndarray
+) -> np.ndarray:
+    """Customers whose line of sight to station ``(sx, sy)`` is occluded.
+
+    ``positions`` is the ``(n, 2)`` customer array, ``segments`` the
+    ``(k, 4)`` blockage-segment array of ``(x1, y1, x2, y2)`` rows
+    (:class:`repro.model.constraints.LosBlockage`).  A customer is
+    blocked iff its open station→customer segment *properly crosses* any
+    blockage segment — four strict orientation sign tests, written with
+    the exact subtract/multiply expressions of the scalar primitive
+    ``repro.model.constraints._cross_sign`` so the ``(n,)`` boolean
+    result is bit-identical to the per-pair loop (touching endpoints and
+    collinear overlap do not block in either path).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    segments = np.asarray(segments, dtype=np.float64).reshape(-1, 4)
+    n = positions.shape[0]
+    if segments.shape[0] == 0 or n == 0:
+        return np.zeros(n, dtype=bool)
+    x1 = segments[:, 0][:, None]
+    y1 = segments[:, 1][:, None]
+    x2 = segments[:, 2][:, None]
+    y2 = segments[:, 3][:, None]
+    cx = positions[:, 0][None, :]
+    cy = positions[:, 1][None, :]
+    # The three (k, n) scratch buffers below are reused via out= — the
+    # subtract/multiply op order matches the scalar ``_cross_sign``
+    # expression exactly, so buffer reuse changes no result bit.
+    # d1: orientation of the station about each blockage segment
+    # ((k, 1), broadcast over customers); d2: of each customer ((k, n)).
+    d1 = (x2 - x1) * (sy - y1) - (y2 - y1) * (sx - x1)
+    t1 = np.multiply(x2 - x1, np.subtract(cy, y1))
+    t2 = np.multiply(y2 - y1, np.subtract(cx, x1))
+    d2 = np.subtract(t1, t2, out=t1)
+    crossed = np.multiply(d1, d2, out=d2) < 0.0
+    # d3/d4: orientation of each blockage endpoint about station→customer.
+    ux = cx - sx
+    uy = cy - sy
+    d3 = np.subtract(
+        np.multiply(ux, y1 - sy, out=t2), np.multiply(uy, x1 - sx), out=t2
+    )
+    t3 = np.multiply(ux, y2 - sy)
+    d4 = np.subtract(t3, np.multiply(uy, x2 - sx, out=t1), out=t3)
+    crossed &= np.multiply(d3, d4, out=d3) < 0.0
+    return crossed.any(axis=0)
+
+
+def topk_station_mask(
+    rs_all: np.ndarray,
+    max_radii: np.ndarray,
+    limit: int,
+    slack: float = 1.0 + 1e-12,
+) -> np.ndarray:
+    """Membership mask of each customer's ``limit`` nearest reaching stations.
+
+    ``rs_all`` is the ``(m, n)`` station-major distance matrix,
+    ``max_radii`` the per-station maximum antenna radius.  Returns an
+    ``(m, n)`` boolean mask: ``mask[s, i]`` iff station ``s`` is among
+    customer ``i``'s ``limit`` nearest *reaching* stations, ranked by
+    ``(distance, station_id)`` — ``limit`` column-wise argmin passes
+    (each selecting then retiring one station per customer) break
+    distance ties by first occurrence, i.e. lowest station id, matching
+    the lexicographic sort of the scalar primitive
+    ``repro.model.constraints._topk_stations`` exactly
+    (:class:`repro.model.constraints.MaxAssignments`).
+
+    Columns with at most ``limit`` reaching stations short-circuit to
+    their reach column (every reaching station *is* in the top
+    ``limit``), so the argmin ranking runs only on the contested
+    columns — in clustered deployments (towns far apart relative to
+    reach) that is a small fraction of ``n``, and the kernel's cost is
+    dominated by the one reach comparison.
+    """
+    rs_all = np.asarray(rs_all, dtype=np.float64)
+    radii = np.asarray(max_radii, dtype=np.float64).reshape(-1, 1)
+    m, n = rs_all.shape
+    reach = rs_all <= radii * slack
+    limit = int(limit)
+    if limit >= m:
+        return reach.copy()
+    mask = reach.copy()
+    hard = np.flatnonzero(reach.sum(axis=0) > limit)
+    if hard.size:
+        sub = np.where(reach[:, hard], rs_all[:, hard], np.inf)
+        picked = np.zeros((m, hard.size), dtype=bool)
+        cols = np.arange(hard.size)
+        # Contested columns have > limit finite entries, so every pass
+        # retires a genuinely reaching station.
+        for _ in range(limit):
+            rows = sub.argmin(axis=0)
+            picked[rows, cols] = True
+            sub[rows, cols] = np.inf
+        mask[:, hard] = picked
+    return mask

@@ -55,6 +55,13 @@ _COMPILE_TIMER = _REG.timer("phase.compile")
 # Eligibility timer predates the compiled layer (moved here from
 # packing/sectors.py so the metric name survives the refactor).
 _ELIG_TIMER = _REG.timer("phase.sector.eligibility")
+# Wall time composing constraint masks (docs/SCENARIOS.md pipeline); the
+# scenario_bench section gates this against phase.compile (<10%).
+_CONSTRAINT_TIMER = _REG.timer("phase.sector.constraints")
+
+#: Distinguishes "not composed yet" from the composed-to-``None`` result
+#: of an unconstrained instance in the constraint-mask memo.
+_UNSET = object()
 
 #: Relative slack for fitting-radius masks; matches
 #: :meth:`repro.model.instance.SectorInstance.reachable_mask`.
@@ -300,6 +307,7 @@ class CompiledSectorInstance(CompiledInstance):
             self.n = int(instance.n)
             self._stations: Dict[int, CompiledStation] = {}
             self._eligibility: Optional[tuple] = None
+            self._constraint_masks: object = _UNSET
             self._lock = threading.Lock()
 
     def station(self, station_id: int) -> CompiledStation:
@@ -336,6 +344,46 @@ class CompiledSectorInstance(CompiledInstance):
                         self.instance, s, polar=(thetas_all[s], rs_all[s])
                     )
 
+    def constraint_masks(
+        self, backend: str = "python"
+    ) -> Optional[List[np.ndarray]]:
+        """Per-station composed constraint masks (memoized; ``None`` = all-pass).
+
+        Composes the instance's ``constraints`` tuple into one read-only
+        ``(n,)`` boolean mask per station via
+        :func:`repro.model.constraints.compose_station_masks`, fed with
+        the compiled stations' ``rs`` arrays so both backends rank and
+        filter on *identical* distances.  Unconstrained instances pay one
+        attribute check and memoize ``None`` — the pre-pipeline fast path.
+
+        Timed under ``phase.sector.constraints``; the ``scenario_bench``
+        section gates this phase at <10% of ``phase.compile``.
+        """
+        with self._lock:
+            cached = self._constraint_masks
+        if cached is not _UNSET:
+            return cached  # type: ignore[return-value]
+        if not getattr(self.instance, "constraints", ()):
+            with self._lock:
+                self._constraint_masks = None
+            return None
+        from repro.model.constraints import compose_station_masks
+
+        if backend == "numpy":
+            self.ensure_stations()
+        with _CONSTRAINT_TIMER.time():
+            m = len(self.instance.stations)
+            rs_by_station = [self.station(s).rs for s in range(m)]
+            composed = compose_station_masks(
+                self.instance, rs_by_station, backend=backend
+            )
+            if composed is not None:
+                composed = [_frozen(mask) for mask in composed]
+        with self._lock:
+            if self._constraint_masks is _UNSET:
+                self._constraint_masks = composed
+            return self._constraint_masks  # type: ignore[return-value]
+
     def eligibility(
         self, backend: str = "python"
     ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
@@ -343,9 +391,13 @@ class CompiledSectorInstance(CompiledInstance):
 
         For global antenna ``g`` at station ``s`` with spec ``a``:
         ``masks[g]`` is the fitting-radius mask ``rs <= a.radius * (1 +
-        1e-12)``, and ``thetas[g]`` / ``rs[g]`` are the station's relative
-        polar arrays.  This is the (previously per-call) eligibility
-        precomputation of the sector solvers.
+        1e-12)`` ANDed with the station's composed constraint mask
+        (:meth:`constraint_masks` — all-pass for unconstrained instances,
+        where ``masks[g]`` *is* the memoized fitting mask, unchanged from
+        the pre-pipeline code), and ``thetas[g]`` / ``rs[g]`` are the
+        station's relative polar arrays.  This is the one place
+        constraints enter the solve path: every mask-consuming solver
+        honors them without further changes.
 
         ``backend="numpy"`` prewarms all station views through
         :meth:`ensure_stations` (one batched polar conversion) before
@@ -358,13 +410,17 @@ class CompiledSectorInstance(CompiledInstance):
             return cached
         if backend == "numpy":
             self.ensure_stations()
+        cmasks = self.constraint_masks(backend)
         with _ELIG_TIMER.time():
             masks: List[np.ndarray] = []
             thetas: List[np.ndarray] = []
             rs: List[np.ndarray] = []
             for _, s_id, spec in self.instance.antenna_table():
                 st = self.station(s_id)
-                masks.append(st.fit_mask(spec.radius))
+                fit = st.fit_mask(spec.radius)
+                if cmasks is not None:
+                    fit = _frozen(fit & cmasks[s_id])
+                masks.append(fit)
                 thetas.append(st.thetas)
                 rs.append(st.rs)
             triple = (masks, thetas, rs)

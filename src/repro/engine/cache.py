@@ -183,6 +183,15 @@ def fingerprint(instance) -> str:
             h.update(repr(station.position).encode())
             for spec in station.antennas:
                 _hash_antenna(h, spec)
+        if instance.constraints:
+            # Hashed only when present, so unconstrained instances keep
+            # their pre-pipeline fingerprints (warm caches stay warm and
+            # the shard routing of existing deployments is undisturbed).
+            from repro.model.constraints import constraint_to_dict
+
+            h.update(b"constraints")
+            for c in instance.constraints:
+                h.update(repr(sorted(constraint_to_dict(c).items())).encode())
     else:
         raise TypeError(f"cannot fingerprint {type(instance).__name__}")
     return h.hexdigest()

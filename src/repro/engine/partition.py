@@ -18,6 +18,19 @@ component is therefore well defined, and **no feasible assignment ever
 crosses components**.  Customers out of reach of every station are
 dropped (no solution can serve them).
 
+**Constraints stay exact.**  When the instance carries eligibility
+constraints (``docs/SCENARIOS.md``), customers are assigned to components
+through their *effective* eligibility — raw reach ANDed with the composed
+constraint masks.  Effective eligibility is a subset of raw reach, so the
+component argument above still covers it (the station graph itself stays
+raw-reach: conservative, never wrong), customers every constraint masks
+out everywhere are dropped exactly as a monolithic solve would leave them
+unserved, and the constraint specs pass to each sub-instance verbatim —
+global ``los_blockage`` segments mask the same pairs either way, and a
+``max_assignments`` top-``k`` computed inside a component equals the
+global one because *all* of a customer's reaching stations live in its
+component and the local station order preserves the global id order.
+
 **Merge bound.**  Solving each component with a heuristic and
 concatenating gives value ``V_part = Σ_p V_p``.  Per component the cheap
 capacity/profit bound ``UB_p = min(total_profit_p, max_density_p × Σ
@@ -166,12 +179,30 @@ def partition_instance(instance: SectorInstance) -> PartitionPlan:
         comp_of = np.full(n, -1, dtype=np.int64)
         xs = instance.positions[:, 0]
         ys = instance.positions[:, 1]
-        for s_id, st in enumerate(instance.stations):
-            px, py = st.position
-            reach = np.hypot(xs - px, ys - py) <= st.max_radius * _SLACK
-            # All stations reaching a customer share one component (module
-            # doc), so overwrites are consistent by construction.
-            comp_of[reach] = comp[s_id]
+        if instance.constraints:
+            # Effective eligibility: raw reach ANDed with the composed
+            # constraint masks, built from the same streamed distances.
+            # O(m·n) mask memory, paid only on constrained instances.
+            from repro.model.constraints import compose_station_masks
+
+            rs_list = [
+                np.hypot(xs - st.position[0], ys - st.position[1])
+                for st in instance.stations
+            ]
+            cmasks = compose_station_masks(instance, rs_list, backend="numpy")
+            for s_id, st in enumerate(instance.stations):
+                reach = rs_list[s_id] <= st.max_radius * _SLACK
+                if cmasks is not None:
+                    reach &= cmasks[s_id]
+                comp_of[reach] = comp[s_id]
+        else:
+            for s_id, st in enumerate(instance.stations):
+                px, py = st.position
+                reach = np.hypot(xs - px, ys - py) <= st.max_radius * _SLACK
+                # All stations reaching a customer share one component
+                # (module doc), so overwrites are consistent by
+                # construction.
+                comp_of[reach] = comp[s_id]
 
         order = np.argsort(comp_of, kind="stable")
         comp_sorted = comp_of[order]
@@ -199,6 +230,7 @@ def partition_instance(instance: SectorInstance) -> PartitionPlan:
                 demands=demands[a:b],
                 profits=profits[a:b],
                 stations=tuple(instance.stations[s] for s in station_ids),
+                constraints=instance.constraints,
             )
             antenna_ids = np.array(
                 [g for s in station_ids for g in station_gids[s]],

@@ -19,6 +19,9 @@ regimes of the algorithms:
 * ``power_law_metro`` -- the million-customer scale family: Zipf-sized
   towns spaced so far apart that station reach disks never cross town
   borders, built in streamed numpy chunks (``docs/SCALE.md``).
+* ``scenario_metro_blockage`` -- the realistic radio-planning scenario:
+  the metro geometry plus ``los_blockage`` wall segments and a
+  ``max_assignments`` deployment rule (``docs/SCENARIOS.md``).
 
 All generators take a ``seed`` (or an ``numpy.random.Generator``) and are
 fully reproducible.
@@ -450,11 +453,20 @@ def power_law_metro(
     demand_chunks = []
     spread = radius / 2.5
     for t in range(towns):
+        # Two sequential chunk loops per town — all position chunks, then
+        # all demand chunks.  Generator draws are element-sequential, so
+        # splitting one draw into consecutive chunked draws concatenates
+        # to the same stream: the instance is invariant to `chunk`
+        # (regression-tested), which interleaving positions and demands
+        # per chunk was not.
         left = int(counts[t])
         while left > 0:
             took = min(left, int(chunk))
-            pts = centers[t] + rng.normal(0.0, spread, size=(took, 2))
-            pos_chunks.append(pts)
+            pos_chunks.append(centers[t] + rng.normal(0.0, spread, size=(took, 2)))
+            left -= took
+        left = int(counts[t])
+        while left > 0:
+            took = min(left, int(chunk))
             demand_chunks.append(_demands(rng, took, demand_dist, 1.0))
             left -= took
     if pos_chunks:
@@ -483,6 +495,93 @@ def power_law_metro(
                           stations=tuple(sts))
 
 
+def scenario_metro_blockage(
+    n: int = 2_000,
+    towns: int = 4,
+    stations_per_town: int = 2,
+    k_per_station: int = 2,
+    rho: float = math.pi / 2,
+    radius: float = 6.0,
+    town_spacing: float = 40.0,
+    alpha: float = 1.0,
+    demand_dist: str = "pareto",
+    capacity_fraction: float = 0.2,
+    segments_per_town: int = 3,
+    segment_length: float = 4.0,
+    max_assignments: int = 2,
+    chunk: int = 1 << 16,
+    seed: RngLike = 0,
+) -> SectorInstance:
+    """Realistic radio-planning scenario: metro + blockage + deployment rules.
+
+    The first scenario-pack family (``docs/SCENARIOS.md``): the
+    :func:`power_law_metro` geometry with eligibility constraints layered
+    on top —
+
+    * ``segments_per_town`` random *blockage segments* (walls, ridgelines)
+      per town, each of length ``segment_length`` at a uniform angle, with
+      midpoints scattered around the town center at the customer spread,
+      compiled into one ``los_blockage`` constraint;
+    * a ``max_assignments`` deployment rule (attach only to the
+      ``max_assignments`` nearest reaching stations; ``0`` disables it) —
+      only binding when a town holds more stations than the limit.
+
+    The constraint specs are *global* (every sub-instance of a partition
+    carries the same tuple), so reach-component decomposition stays exact
+    — see ``docs/SCENARIOS.md`` for the argument.  Same streamed-chunk
+    construction, same seeded reproducibility as the metro family.
+    """
+    from repro.model.constraints import Constraint, LosBlockage, MaxAssignments
+
+    rng = _rng(seed)
+    base = power_law_metro(
+        n=n,
+        towns=towns,
+        stations_per_town=stations_per_town,
+        k_per_station=k_per_station,
+        rho=rho,
+        radius=radius,
+        town_spacing=town_spacing,
+        alpha=alpha,
+        demand_dist=demand_dist,
+        capacity_fraction=capacity_fraction,
+        chunk=chunk,
+        seed=rng,
+    )
+    if segments_per_town < 0:
+        raise ValueError("segments_per_town must be >= 0")
+    side = int(math.ceil(math.sqrt(towns)))
+    grid_x, grid_y = np.divmod(np.arange(towns), side)
+    centers = np.stack([grid_x, grid_y], axis=1).astype(np.float64) * town_spacing
+    spread = radius / 2.5
+    segments = []
+    for t in range(towns):
+        if segments_per_town == 0:
+            continue
+        mids = centers[t] + rng.normal(0.0, spread, size=(segments_per_town, 2))
+        angles = rng.uniform(0.0, TWO_PI, size=segments_per_town)
+        half = 0.5 * float(segment_length)
+        dx = half * np.cos(angles)
+        dy = half * np.sin(angles)
+        for j in range(segments_per_town):
+            segments.append((
+                float(mids[j, 0] - dx[j]), float(mids[j, 1] - dy[j]),
+                float(mids[j, 0] + dx[j]), float(mids[j, 1] + dy[j]),
+            ))
+    constraints: tuple[Constraint, ...] = ()
+    if segments:
+        constraints += (LosBlockage(segments=tuple(segments)),)
+    if max_assignments:
+        constraints += (MaxAssignments(limit=int(max_assignments)),)
+    return SectorInstance(
+        positions=base.positions,
+        demands=base.demands,
+        profits=base.profits,
+        stations=base.stations,
+        constraints=constraints,
+    )
+
+
 #: Name → callable registry used by the CLI and the experiment harness.
 ANGLE_FAMILIES = {
     "uniform": uniform_angles,
@@ -499,4 +598,5 @@ SECTOR_FAMILIES = {
     "grid": grid_city,
     "macro_micro": macro_micro,
     "metro": power_law_metro,
+    "scenario": scenario_metro_blockage,
 }

@@ -21,6 +21,7 @@ from repro.model.customer import Customer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports model users)
     from repro.core.compiled import CompiledAngleInstance, CompiledSectorInstance
+    from repro.model.constraints import Constraint
 
 
 class InvalidInstanceError(ValueError):
@@ -360,12 +361,20 @@ class SectorInstance:
         As in :class:`AngleInstance`.
     stations:
         At least one :class:`Station`.
+    constraints:
+        Optional tuple of :class:`~repro.model.constraints.Constraint`
+        specs (``reach``, ``los_blockage``, ``max_assignments``, …).
+        They compose by AND into per-(station, customer) effective
+        eligibility masks at compile time; the empty default is the
+        paper's pure-reach model and solves bit-identically to the
+        pre-pipeline code.  Grammar and semantics: ``docs/SCENARIOS.md``.
     """
 
     positions: np.ndarray
     demands: np.ndarray
     stations: Tuple[Station, ...]
     profits: Optional[np.ndarray] = None
+    constraints: Tuple["Constraint", ...] = ()
 
     def __post_init__(self) -> None:
         pos = np.asarray(self.positions, dtype=np.float64)
@@ -395,6 +404,17 @@ class SectorInstance:
         object.__setattr__(self, "demands", _readonly(demands))
         object.__setattr__(self, "profits", _readonly(profits))
         object.__setattr__(self, "stations", stations)
+        if self.constraints:
+            # Lazy import: constraints.py imports InvalidInstanceError from
+            # this module, so the dependency must point one way at import
+            # time.  The empty default skips the import entirely.
+            from repro.model.constraints import validate_constraints
+
+            object.__setattr__(
+                self, "constraints", validate_constraints(self.constraints)
+            )
+        else:
+            object.__setattr__(self, "constraints", ())
 
     @classmethod
     def from_customers(
@@ -529,6 +549,7 @@ class SectorInstance:
             and np.array_equal(self.demands, other.demands)
             and np.array_equal(self.profits, other.profits)
             and self.stations == other.stations
+            and self.constraints == other.constraints
         )
 
     def __hash__(self) -> int:

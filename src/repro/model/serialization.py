@@ -101,8 +101,13 @@ def angle_instance_from_dict(d: Dict[str, Any]) -> AngleInstance:
 
 
 def sector_instance_to_dict(instance: SectorInstance) -> Dict[str, Any]:
-    """Serialize a 2-D instance to a JSON-compatible dict."""
-    return {
+    """Serialize a 2-D instance to a JSON-compatible dict.
+
+    The optional ``constraints`` list (``docs/SCENARIOS.md`` grammar) is
+    emitted only when non-empty, so unconstrained instances serialize
+    byte-identically to the pre-pipeline format.
+    """
+    out = {
         "format": _FORMAT_VERSION,
         "kind": "sector",
         "positions": instance.positions.tolist(),
@@ -116,6 +121,11 @@ def sector_instance_to_dict(instance: SectorInstance) -> Dict[str, Any]:
             for s in instance.stations
         ],
     }
+    if instance.constraints:
+        from repro.model.constraints import constraints_to_wire
+
+        out["constraints"] = constraints_to_wire(instance.constraints)
+    return out
 
 
 def sector_instance_from_dict(d: Dict[str, Any]) -> SectorInstance:
@@ -157,11 +167,14 @@ def sector_instance_from_dict(d: Dict[str, Any]) -> SectorInstance:
         raise
     except (ValueError, TypeError) as exc:
         raise InvalidInstanceError("customers", str(exc)) from None
+    from repro.model.constraints import constraints_from_wire
+
     return SectorInstance(
         positions=positions,
         demands=demands,
         profits=profits,
         stations=stations,
+        constraints=constraints_from_wire(d.get("constraints")),
     )
 
 

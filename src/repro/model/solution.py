@@ -370,6 +370,19 @@ class SectorSolution:
                     f"antenna {g} overloaded: load {load:.6f} > "
                     f"capacity {spec.capacity:.6f}"
                 )
+        if instance.constraints:
+            # Constraint feasibility (docs/SCENARIOS.md): every served
+            # (customer, station) pair must pass the composed masks.
+            cmasks = instance.compile().constraint_masks()
+            if cmasks is not None:
+                for g, s_id, _spec in instance.antenna_table():
+                    members = np.flatnonzero(self.assignment == g)
+                    for i in members[~cmasks[s_id][members]]:
+                        problems.append(
+                            f"customer {i} assigned to antenna {g} "
+                            f"(station {s_id}) but an eligibility "
+                            f"constraint masks the pair out"
+                        )
         return problems
 
     def verify(self, instance: SectorInstance) -> "SectorSolution":

@@ -135,6 +135,8 @@ def run_bench(
     online_bench: bool = False,
     online_n: int = 30_000,
     online_events: int = 90,
+    scenario_bench: bool = False,
+    scenario_n: int = 60_000,
 ) -> dict:
     """Run the suite and return the schema-versioned bench payload.
 
@@ -194,6 +196,18 @@ def run_bench(
     cache invalidation is exercised against registered windows, and the
     delta path must be at least 5x faster than recompiling when
     ``online_n >= 10**4`` (a violation raises instead of recording).
+
+    ``scenario_bench=True`` adds the additive ``scenario_bench`` section
+    (``docs/SCENARIOS.md``): the constraint-pipeline gate on the
+    ``scenario`` generator family (metro + blockage segments +
+    ``max_assignments``).  Three invariants are asserted in-harness (a
+    violation raises instead of recording): the scalar and vectorized
+    constraint compositions are bit-identical, constrained engine solves
+    verify feasible against every mask with exact value identity across
+    backends, and mask composition costs < 10% of the unconstrained
+    compile at ``scenario_n`` (the overhead gate arms at ``scenario_n >=
+    5 * 10**4`` — below that, fixed per-call overheads dominate both
+    timers and the ratio is noise).
     """
     from repro.engine import SolveRequest, clear_caches
     from repro.engine import solve as engine_solve
@@ -332,6 +346,8 @@ def run_bench(
         payload["online_bench"] = _run_online_bench(
             n=online_n, events=online_events
         )
+    if scenario_bench:
+        payload["scenario_bench"] = _run_scenario_bench(eps=eps, n=scenario_n)
     return payload
 
 
@@ -922,6 +938,169 @@ def _run_online_bench(
     }
 
 
+def _run_scenario_bench(
+    eps: float,
+    n: int = 60_000,
+    towns: int = 12,
+    identity_n: int = 4_000,
+    identity_towns: int = 6,
+    repeats: int = 3,
+) -> dict:
+    """Constraint-pipeline gate: identity, feasibility and compose overhead.
+
+    Exercises the ``scenario`` generator family
+    (:func:`repro.model.generators.scenario_metro_blockage` — a
+    power-law metro with random blockage segments plus a
+    ``max_assignments`` rule, ``docs/SCENARIOS.md``) and asserts three
+    invariants **in-harness** (a violation raises ``RuntimeError``
+    rather than recording a payload):
+
+    * *composition identity* — on an ``identity_n``-customer scenario,
+      the scalar constraint composition (the oracle,
+      :func:`repro.model.constraints.compose_station_masks` with
+      ``backend="python"``) and the vectorized kernel path
+      (``backend="numpy"``) produce bit-identical per-station masks;
+    * *mask feasibility + backend value identity* — engine solves of the
+      constrained scenario on the ``python`` and ``numpy`` backends
+      verify feasible (:meth:`SectorSolution.verify` checks every served
+      pair against the composed masks) and agree on the objective value
+      exactly;
+    * *overhead gate* — on the ``n``-customer scenario, the
+      ``phase.sector.constraints`` timer (mask composition inside
+      :meth:`CompiledSectorInstance.constraint_masks`) is **< 10%** of
+      the full *unconstrained* compile wall time (polar conversion +
+      eligibility triple of the constraint-free twin), both sides
+      best-of-``repeats``.  The gate arms only at ``n >= 5 * 10**4``:
+      below that, fixed per-call overheads dominate both timers and the
+      ratio is noise (the smoke runs a small ``n`` for the round-trip,
+      the committed payload the armed default).
+
+    The knapsack oracle runs at ``max(eps, 0.1)``: scenario instances
+    combine pareto demands with tight capacities, where the exact
+    branch-and-bound oracle can blow past its node budget.
+    """
+    from repro.core.compiled import CompiledSectorInstance
+    from repro.engine import SolveRequest, clear_caches
+    from repro.engine import solve as engine_solve
+    from repro.model.constraints import compose_station_masks
+    from repro.model.generators import scenario_metro_blockage
+    from repro.model.instance import SectorInstance
+
+    registry = get_registry()
+    eps = max(float(eps), 0.1)
+
+    # -- invariant 1: scalar == numpy composition, bit-for-bit ----------
+    small = scenario_metro_blockage(n=identity_n, towns=identity_towns, seed=0)
+    compiled_small = CompiledSectorInstance(small)
+    compiled_small.ensure_stations()
+    m_small = len(small.stations)
+    rs_small = [compiled_small.station(s).rs for s in range(m_small)]
+    masks_py = compose_station_masks(small, rs_small, backend="python")
+    masks_np = compose_station_masks(small, rs_small, backend="numpy")
+    if masks_py is None or masks_np is None:
+        raise RuntimeError(
+            "scenario bench invariant broken: the scenario family must "
+            "produce nontrivial constraint masks"
+        )
+    for s in range(m_small):
+        if not np.array_equal(masks_py[s], masks_np[s]):
+            raise RuntimeError(
+                "scenario bench invariant broken: scalar and numpy "
+                f"constraint composition diverge at station {s}"
+            )
+    masked_pairs = int(sum(int((~mask).sum()) for mask in masks_py))
+    total_pairs = int(m_small * small.n)
+
+    # -- invariant 2: constrained solves verify + backends agree --------
+    rows: List[dict] = []
+    for algorithm in ("greedy", "independent"):
+        values: Dict[str, float] = {}
+        times: Dict[str, float] = {}
+        for backend in ("python", "numpy"):
+            clear_caches()
+            request = SolveRequest(
+                instance=small,
+                family="sector",
+                algorithm=algorithm,
+                eps=eps,
+                backend=backend,
+                use_cache=False,
+            )
+            report = engine_solve(request)
+            # verify() re-derives the composed masks and rejects any
+            # served pair a constraint masks out.
+            report.solution.verify(small)
+            values[backend] = float(report.value)
+            times[backend] = float(report.seconds)
+        if values["python"] != values["numpy"]:
+            raise RuntimeError(
+                "scenario bench invariant broken: constrained "
+                f"{algorithm!r} value differs across backends "
+                f"(python={values['python']!r}, numpy={values['numpy']!r})"
+            )
+        rows.append(
+            {
+                "solver": algorithm,
+                "python_s": times["python"],
+                "numpy_s": times["numpy"],
+                "value": values["python"],
+            }
+        )
+
+    # -- invariant 3: mask composition < 10% of unconstrained compile ---
+    big = scenario_metro_blockage(n=n, towns=towns, seed=0)
+    plain = SectorInstance(
+        positions=big.positions,
+        demands=big.demands,
+        profits=big.profits,
+        stations=big.stations,
+    )
+    compile_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        CompiledSectorInstance(plain).eligibility("numpy")
+        compile_s = min(compile_s, time.perf_counter() - t0)
+    constraints_s = float("inf")
+    for _ in range(repeats):
+        registry.reset()
+        CompiledSectorInstance(big).eligibility("numpy")
+        snap = registry.snapshot()
+        constraints_s = min(
+            constraints_s,
+            float(snap["phase.sector.constraints"]["total_s"]),
+        )
+    overhead_ratio = (
+        constraints_s / compile_s if compile_s > 0 else float("inf")
+    )
+    if n >= 50_000 and overhead_ratio >= 0.10:
+        raise RuntimeError(
+            "scenario bench invariant broken: constraint mask composition "
+            f"took {overhead_ratio:.1%} of the unconstrained compile "
+            f"({constraints_s * 1e3:.2f}ms vs {compile_s * 1e3:.2f}ms) — "
+            "the <10% overhead gate failed"
+        )
+
+    segments = sum(
+        len(c.segments)
+        for c in big.constraints
+        if hasattr(c, "segments")
+    )
+    return {
+        "n": int(big.n),
+        "towns": int(towns),
+        "stations": int(len(big.stations)),
+        "segments": int(segments),
+        "identity_n": int(small.n),
+        "identity_stations": int(m_small),
+        "masked_pairs": masked_pairs,
+        "total_pairs": total_pairs,
+        "compile_s": float(compile_s),
+        "constraints_s": float(constraints_s),
+        "overhead_ratio": float(overhead_ratio),
+        "rows": rows,
+    }
+
+
 def _run_service_bench(
     eps: float,
     n: int = 20,
@@ -1244,6 +1423,31 @@ _ONLINE_BENCH_FIELDS: Dict[str, type] = {
     "invalidated": int,
 }
 
+#: Optional additive section (schema stays v1): present only when the
+#: bench ran with ``scenario_bench=True``; validated only when present.
+_SCENARIO_BENCH_FIELDS: Dict[str, type] = {
+    "n": int,
+    "towns": int,
+    "stations": int,
+    "segments": int,
+    "identity_n": int,
+    "identity_stations": int,
+    "masked_pairs": int,
+    "total_pairs": int,
+    "compile_s": float,
+    "constraints_s": float,
+    "overhead_ratio": float,
+    "rows": list,
+}
+
+#: Per-solver row of the ``scenario_bench`` section's constrained solves.
+_SCENARIO_BENCH_ROW_FIELDS: Dict[str, type] = {
+    "solver": str,
+    "python_s": float,
+    "numpy_s": float,
+    "value": float,
+}
+
 _SUMMARY_FIELDS: Dict[str, type] = {
     "runs": int,
     "total_wall_time_s": float,
@@ -1405,6 +1609,31 @@ def validate_bench(payload: dict) -> dict:
                "online_bench must assert identity on every event")
         _check(ob["warm_hits"] + ob["invalidated"] == ob["sectors"],
                "online_bench invalidation split must cover every sector")
+    if "scenario_bench" in payload:
+        sn = payload["scenario_bench"]
+        _check(isinstance(sn, dict), "scenario_bench must be an object")
+        _check_fields(sn, _SCENARIO_BENCH_FIELDS, "scenario_bench")
+        _check(sn["n"] > 0 and sn["identity_n"] > 0,
+               "scenario_bench sizes must be positive")
+        _check(sn["stations"] >= 1 and sn["identity_stations"] >= 1,
+               "scenario_bench station counts must be >= 1")
+        _check(sn["segments"] >= 0, "scenario_bench.segments negative")
+        _check(
+            0 <= sn["masked_pairs"] <= sn["total_pairs"],
+            "scenario_bench masked pairs must lie within the pair count",
+        )
+        _check(sn["compile_s"] >= 0.0 and sn["constraints_s"] >= 0.0,
+               "scenario_bench wall times must be non-negative")
+        _check(sn["overhead_ratio"] >= 0.0,
+               "scenario_bench.overhead_ratio negative")
+        _check(bool(sn["rows"]), "scenario_bench.rows must be non-empty")
+        for j, row in enumerate(sn["rows"]):
+            where = f"scenario_bench.rows[{j}]"
+            _check(isinstance(row, dict), f"{where} must be an object")
+            _check_fields(row, _SCENARIO_BENCH_ROW_FIELDS, where)
+            _check(row["python_s"] >= 0.0 and row["numpy_s"] >= 0.0,
+                   f"{where} wall times must be non-negative")
+            _check(row["value"] >= 0.0, f"{where}.value negative")
     if "service_bench" in payload:
         sb = payload["service_bench"]
         _check(isinstance(sb, dict), "service_bench must be an object")

@@ -21,6 +21,14 @@ views in place of rebuilding them:
   patched with single-row ``relative_polar`` conversions and scalar mask
   appends — elementwise operations, hence bit-identical to a fresh batch
   conversion;
+* per-station **constraint masks** (sector kind, ``docs/SCENARIOS.md``)
+  are patched by column: every registered constraint is per-customer
+  independent (a customer's line-of-sight and top-``k`` station ranking
+  depend only on its own position and the fixed stations), so the
+  appended customer's composed column
+  (:func:`repro.model.constraints.effective_column`, computed through the
+  same per-pair primitives as a full composition) plus row deletion on
+  removals reproduces a fresh ``constraint_masks()`` bit-for-bit;
 * the **staleness fingerprint** (``_compile_token``) is refreshed so the
   patched instance passes ``compile()``'s memo self-check.
 
@@ -410,6 +418,10 @@ class DeltaCompiledInstance:
                 s: _SortPatch(view._angles.order, view._angles.sorted_thetas)
                 for s, view in self._compiled._stations.items()
             }
+            # Materialize constraint masks up front (memoized None for
+            # unconstrained instances) so every generation has arrays to
+            # column-patch instead of recomposing per event.
+            self._cmask_active = self._compiled.constraint_masks() is not None
 
     # -- read side ------------------------------------------------------
     @property
@@ -646,6 +658,8 @@ class DeltaCompiledInstance:
             # Per-station (thetas, rs) working arrays; populated lazily on
             # the first geometry event, None means "unchanged".
             "station_polar": {},
+            # Per-station constraint-mask working arrays (same protocol).
+            "cmask": {},
             "dirty_positions": False,
             "dirty_demands": False,
             "dirty_profits": False,
@@ -657,6 +671,12 @@ class DeltaCompiledInstance:
             view = self._compiled._stations[s]
             pair = (view.thetas, view.rs)
         return pair
+
+    def _cmask_array(self, state: dict, s: int) -> np.ndarray:
+        cm = state["cmask"].get(s)
+        if cm is None:
+            cm = self._compiled._constraint_masks[s]
+        return cm
 
     def _apply_sector(self, state: dict, event: Event, touched: List[float]) -> None:
         if isinstance(event, AddCustomer):
@@ -679,6 +699,7 @@ class DeltaCompiledInstance:
                 self._profits_shared = False
             n = state["positions"].shape[0]
             point = np.array([[x, y]], dtype=np.float64)
+            rs_new: List[float] = []
             for s, st in enumerate(self._instance.stations):
                 # Single-row conversion: relative_polar is elementwise, so
                 # row i of a batch equals the same row converted alone.
@@ -690,6 +711,23 @@ class DeltaCompiledInstance:
                     _insert_at(rs, n, r_s),
                 )
                 self._station_sorts[s].insert(theta_s, n)
+                rs_new.append(r_s)
+            if self._cmask_active:
+                # Per-customer independence (module doc): the new column
+                # composed alone equals its slice of a full recomposition.
+                from repro.model.constraints import effective_column
+
+                col = effective_column(
+                    self._instance.constraints,
+                    [st.position for st in self._instance.stations],
+                    (x, y),
+                    rs_new,
+                    [st.max_radius for st in self._instance.stations],
+                )
+                for s in range(len(self._instance.stations)):
+                    state["cmask"][s] = _insert_at(
+                        self._cmask_array(state, s), n, bool(col[s])
+                    )
             state["positions"] = _append_row(state["positions"], (x, y))
             state["demands"] = _insert_at(state["demands"], n, demand)
             state["profits"] = _insert_at(state["profits"], n, profit)
@@ -709,6 +747,8 @@ class DeltaCompiledInstance:
                     _delete_at(thetas, i),
                     _delete_at(rs, i),
                 )
+                if self._cmask_active:
+                    state["cmask"][s] = _delete_at(self._cmask_array(state, s), i)
             state["positions"] = _delete_row(state["positions"], i)
             state["demands"] = _delete_at(state["demands"], i)
             state["profits"] = _delete_at(state["profits"], i)
@@ -752,6 +792,9 @@ class DeltaCompiledInstance:
         object.__setattr__(inst, "demands", demands)
         object.__setattr__(inst, "profits", profits)
         object.__setattr__(inst, "stations", self._instance.stations)
+        # __new__ bypasses dataclass defaults: the constraints tuple must
+        # carry over explicitly or equality/serialization/fingerprint break.
+        object.__setattr__(inst, "constraints", self._instance.constraints)
         view = CompiledSectorInstance.__new__(CompiledSectorInstance)
         view.instance = inst
         view.n = int(positions.shape[0])
@@ -780,6 +823,16 @@ class DeltaCompiledInstance:
             stations[s] = st
         view._stations = stations
         view._eligibility = None
+        if self._cmask_active:
+            old_cm = old._constraint_masks
+            view._constraint_masks = [
+                _frozen(state["cmask"][s]) if s in state["cmask"] else old_cm[s]
+                for s in range(len(stations))
+            ]
+        else:
+            # Equivalent to the memoized all-pass composition a fresh
+            # compile of an unconstrained instance would cache.
+            view._constraint_masks = None
         view._lock = threading.Lock()
         token = self._refresh_token(
             state, "dirty_positions", positions, demands, profits

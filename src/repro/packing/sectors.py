@@ -77,11 +77,20 @@ def solve_exact_sector_single(
 ) -> "SectorSolution":
     """Exact solution for a *single-station* instance with equal radii.
 
-    Reduces to the 1-D problem (filter by radius, use relative angles) and
-    runs :func:`~repro.packing.exact.solve_exact_angle`.  The reduction is
+    Reduces to the 1-D problem (filter by the compiled eligibility mask,
+    use relative angles) and runs
+    :func:`~repro.packing.exact.solve_exact_angle`.  The reduction is
     lossless when the instance has one station whose antennas share a
     radius — the canonical ground-truth path for certifying the 2-D
     heuristics against true optima (not just the splittable bound).
+
+    The eligible set comes from
+    :meth:`~repro.core.compiled.CompiledSectorInstance.eligibility` — the
+    same triple every other sector solver consumes (this used to be the
+    last private reach recomputation, via ``station_angle_instance``) —
+    so constraint masks (``docs/SCENARIOS.md``) restrict the exact solve
+    exactly as they restrict the heuristics, and the equal-radius mask is
+    bit-identical to the old minimum-radius filter.
 
     Raises ``ValueError`` for multi-station instances or mixed radii.
     """
@@ -93,7 +102,15 @@ def solve_exact_sector_single(
     radii = {a.radius for a in st.antennas}
     if len(radii) != 1:
         raise ValueError("exact sector solver requires equal antenna radii")
-    sub, idx = instance.station_angle_instance(station_id)
+    masks, thetas_per, _ = instance.compile().eligibility()
+    g0 = next(g for g, s_id, _ in instance.antenna_table() if s_id == station_id)
+    idx = np.flatnonzero(masks[g0])
+    sub = AngleInstance(
+        thetas=thetas_per[g0][idx],
+        demands=instance.demands[idx],
+        profits=instance.profits[idx],
+        antennas=st.antennas,
+    )
     sol = solve_exact_angle(sub, require_disjoint=require_disjoint, **exact_kwargs)
     assignment = np.full(instance.n, -1, dtype=np.int64)
     served = sol.assignment >= 0
@@ -289,7 +306,10 @@ def solve_sector_independent(
     :func:`solve_sector_greedy` is experiment E9's headline.
     ``backend="numpy"`` builds the nearest-station partition with one
     batched distance matrix (identical tie-breaking) and threads the
-    vectorized rotation scan into the per-station solves.
+    vectorized rotation scan into the per-station solves.  Constraint
+    masks (``docs/SCENARIOS.md``) restrict the homing step: a customer is
+    tied to its nearest *effective* station, never to one a constraint
+    masks out.
     """
     n = instance.n
     K = instance.total_antennas
@@ -297,21 +317,25 @@ def solve_sector_independent(
     compiled = instance.compile() if compiled is None else compiled
     assignment = np.full(n, -1, dtype=np.int64)
     orientations = np.zeros(K, dtype=np.float64)
-    # Station of each customer: nearest reaching station or -1.
+    # Station of each customer: nearest effective reaching station or -1.
     max_radii = np.array(
         [st.max_radius for st in instance.stations], dtype=np.float64
     )
+    cmasks = compiled.constraint_masks(backend)
     if backend == "numpy":
         compiled.ensure_stations()
         rs_all = np.stack(
             [compiled.station(s).rs for s in range(instance.m)], axis=0
         )
-        home = nearest_reaching_station(rs_all, max_radii)
+        eligible = None if cmasks is None else np.stack(cmasks, axis=0)
+        home = nearest_reaching_station(rs_all, max_radii, eligible=eligible)
     else:
         dist = np.full((n, instance.m), np.inf)
         for s_id in range(instance.m):
             rs = compiled.station(s_id).rs
             reach = rs <= max_radii[s_id] * (1.0 + 1e-12)
+            if cmasks is not None:
+                reach = reach & cmasks[s_id]
             dist[reach, s_id] = rs[reach]
         home = np.where(np.isfinite(dist.min(axis=1)), dist.argmin(axis=1), -1)
 

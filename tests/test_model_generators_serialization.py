@@ -105,6 +105,19 @@ class TestSectorGenerators:
         assert inst.m == 4
         assert inst.total_antennas == 12
 
+    def test_power_law_metro_chunk_invariant(self):
+        # Regression: the streamed builder must produce the identical
+        # instance whatever chunk size it streams in — generator draws
+        # are element-sequential, so splitting one draw into consecutive
+        # chunked draws concatenates to the same stream.  An earlier
+        # revision drew per-chunk scale factors and broke this.
+        base = gen.power_law_metro(n=700, towns=3, seed=21, chunk=1 << 16)
+        for chunk in (137, 1_000, 699, 700):
+            other = gen.power_law_metro(n=700, towns=3, seed=21, chunk=chunk)
+            assert np.array_equal(other.positions, base.positions), chunk
+            assert np.array_equal(other.demands, base.demands), chunk
+            assert other == base
+
 
 class TestSerialization:
     def test_angle_round_trip(self):

@@ -12,6 +12,8 @@ Per-sector result-cache invalidation and the event dict grammar round out
 the file.
 """
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -330,6 +332,56 @@ class TestInvalidation:
         summary = delta.apply(UpdateDemand(index=0, demand=2.0, profit=2.0))
         assert summary["invalidated"] == 1
         assert RESULT_CACHE.get(key) is None
+
+    def test_lru_evict_by_key_semantics(self):
+        # LruCache.evict is the primitive the window invalidation rides
+        # on: present -> dropped and True, absent -> False, idempotent,
+        # and untouched keys keep their values.
+        RESULT_CACHE.put(("evict-test", "a"), "va")
+        RESULT_CACHE.put(("evict-test", "b"), "vb")
+        assert RESULT_CACHE.evict(("evict-test", "a")) is True
+        assert RESULT_CACHE.get(("evict-test", "a")) is None
+        assert RESULT_CACHE.evict(("evict-test", "a")) is False
+        assert RESULT_CACHE.evict(("evict-test", "never-stored")) is False
+        assert RESULT_CACHE.get(("evict-test", "b")) == "vb"
+
+    def test_wrapping_window_hit_from_either_side_of_the_seam(self):
+        # A window [2pi-0.2, 2pi) u [0, 0.2) registered across the seam
+        # must evict for touched angles on *both* sides of 2pi -> 0, and
+        # a window of the same width away from the seam must survive.
+        thetas = [0.1, TWO_PI - 0.1, math.pi]
+        for touched in (0, 1):
+            delta = DeltaCompiledInstance(
+                _angle_instance(thetas, [1.0, 1.0, 1.0])
+            )
+            wrap_key = ("delta-test", "wrap", touched)
+            far_key = ("delta-test", "far", touched)
+            RESULT_CACHE.put(wrap_key, "warm-wrap")
+            RESULT_CACHE.put(far_key, "warm-far")
+            delta.register_window(wrap_key, TWO_PI - 0.2, 0.4)
+            delta.register_window(far_key, math.pi - 0.2, 0.4)
+            summary = delta.apply(
+                UpdateDemand(index=touched, demand=2.0, profit=2.0)
+            )
+            assert summary["invalidated"] == 1, touched
+            assert RESULT_CACHE.get(wrap_key) is None, touched
+            assert RESULT_CACHE.get(far_key) == "warm-far", touched
+            assert wrap_key not in delta.registered_windows()
+            assert far_key in delta.registered_windows()
+
+    def test_wrapping_window_retains_far_angle(self):
+        # The complement case: a touched angle near pi must not evict the
+        # seam-spanning window.
+        delta = DeltaCompiledInstance(
+            _angle_instance([math.pi], [1.0])
+        )
+        key = ("delta-test", "wrap-retained")
+        RESULT_CACHE.put(key, "warm")
+        delta.register_window(key, TWO_PI - 0.2, 0.4)
+        summary = delta.apply(UpdateDemand(index=0, demand=2.0, profit=2.0))
+        assert summary["invalidated"] == 0
+        assert RESULT_CACHE.get(key) == "warm"
+        assert key in delta.registered_windows()
 
     def test_publish_seeds_the_compile_cache(self):
         from repro.engine.cache import COMPILE_CACHE
